@@ -1,0 +1,112 @@
+//! Criterion microbenchmarks of the in-store processor functional cores:
+//! the real Rust throughput of Morris-Pratt search, hamming comparison,
+//! LSH indexing/querying and the range filter.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bluedbm_isp::filter::FilterEngine;
+use bluedbm_isp::hamming::{hamming_distance, HammingEngine};
+use bluedbm_isp::lsh::{LshIndex, LshParams};
+use bluedbm_isp::mp::MpMatcher;
+use bluedbm_isp::Accelerator;
+use bluedbm_sim::rng::Rng;
+
+const PAGE: usize = 8192;
+
+fn bench_mp(c: &mut Criterion) {
+    let corpus = bluedbm_workloads::datagen::corpus_with_needles(1 << 20, b"BlueDBM-needle", 16, 1);
+    let mut g = c.benchmark_group("mp_search");
+    g.throughput(Throughput::Bytes(corpus.text.len() as u64));
+    g.bench_function("stream_1MiB", |b| {
+        b.iter_batched(
+            || MpMatcher::new(&corpus.needle).unwrap(),
+            |mut m| {
+                for (i, page) in corpus.text.chunks(PAGE).enumerate() {
+                    m.consume(i as u64, page);
+                }
+                black_box(m.matches().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let mut a = vec![0u8; PAGE];
+    let mut bb = vec![0u8; PAGE];
+    rng.fill_bytes(&mut a);
+    rng.fill_bytes(&mut bb);
+    let mut g = c.benchmark_group("hamming");
+    g.throughput(Throughput::Bytes(PAGE as u64));
+    g.bench_function("distance_8KiB", |b| {
+        b.iter(|| black_box(hamming_distance(black_box(&a), black_box(&bb))))
+    });
+    g.bench_function("engine_consume_8KiB", |b| {
+        let mut e = HammingEngine::new(a.clone());
+        let mut seq = 0;
+        b.iter(|| {
+            e.consume(seq, &bb);
+            seq += 1;
+        })
+    });
+    g.finish();
+}
+
+fn bench_lsh(c: &mut Criterion) {
+    let mut rng = Rng::new(3);
+    let items: Vec<Vec<u8>> = (0..512)
+        .map(|_| {
+            let mut v = vec![0u8; 256];
+            rng.fill_bytes(&mut v);
+            v
+        })
+        .collect();
+    c.bench_function("lsh_insert_512x256B", |b| {
+        b.iter_batched(
+            || LshIndex::new(256, LshParams::default()),
+            |mut idx| {
+                for (i, item) in items.iter().enumerate() {
+                    idx.insert(i as u64, item);
+                }
+                black_box(idx.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut idx = LshIndex::new(256, LshParams::default());
+    for (i, item) in items.iter().enumerate() {
+        idx.insert(i as u64, item);
+    }
+    c.bench_function("lsh_query", |b| {
+        b.iter(|| black_box(idx.candidates(&items[7]).len()))
+    });
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut rng = Rng::new(4);
+    let mut page = vec![0u8; PAGE];
+    rng.fill_bytes(&mut page);
+    let mut g = c.benchmark_group("filter");
+    g.throughput(Throughput::Bytes(PAGE as u64));
+    g.bench_function("scan_8KiB_page", |b| {
+        let mut f = FilterEngine::new(32, 0, 0..(u64::MAX / 2));
+        let mut seq = 0;
+        b.iter(|| {
+            f.consume(seq, &page);
+            seq += 1;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short sampling: these are smoke-level performance numbers, and the
+    // full suite must run in CI time.
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_mp, bench_hamming, bench_lsh, bench_filter
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion microbenchmarks of the storage substrate: SECDED codec
+//! throughput, functional flash array operations, FTL write path and the
+//! log-structured file system.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bluedbm_flash::array::FlashArray;
+use bluedbm_flash::ecc;
+use bluedbm_flash::geometry::{FlashGeometry, Ppa};
+use bluedbm_ftl::ftl::{Ftl, FtlConfig};
+use bluedbm_ftl::rfs::{Rfs, RfsConfig};
+use bluedbm_sim::rng::Rng;
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let mut page = vec![0u8; 8192];
+    rng.fill_bytes(&mut page);
+    let oob = ecc::encode_page(&page);
+    let mut g = c.benchmark_group("ecc");
+    g.throughput(Throughput::Bytes(page.len() as u64));
+    g.bench_function("encode_8KiB", |b| {
+        b.iter(|| black_box(ecc::encode_page(black_box(&page))))
+    });
+    g.bench_function("decode_8KiB_clean", |b| {
+        b.iter(|| black_box(ecc::decode_page(black_box(&page), black_box(&oob))))
+    });
+    let mut corrupted = page.clone();
+    corrupted[17] ^= 0x10;
+    g.bench_function("decode_8KiB_one_flip", |b| {
+        b.iter(|| black_box(ecc::decode_page(black_box(&corrupted), black_box(&oob))))
+    });
+    g.finish();
+}
+
+fn bench_array(c: &mut Criterion) {
+    let geom = FlashGeometry::small();
+    let data = vec![0xA5u8; geom.page_bytes];
+    let mut g = c.benchmark_group("flash_array");
+    g.throughput(Throughput::Bytes(geom.page_bytes as u64));
+    g.bench_function("program_read_erase_cycle", |b| {
+        b.iter_batched(
+            || FlashArray::new(geom, 1),
+            |mut a| {
+                let ppa = Ppa::new(0, 0, 0, 0);
+                a.program(ppa, &data).unwrap();
+                black_box(a.read(ppa).unwrap());
+                a.erase(ppa).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ftl(c: &mut Criterion) {
+    let geom = FlashGeometry::small();
+    c.bench_function("ftl_random_overwrite_churn", |b| {
+        b.iter_batched(
+            || {
+                let ftl = Ftl::new(FlashArray::new(geom, 3), FtlConfig::default()).unwrap();
+                (ftl, Rng::new(9))
+            },
+            |(mut ftl, mut rng)| {
+                let cap = ftl.capacity_pages();
+                let data = vec![0u8; ftl.page_bytes()];
+                for lba in 0..cap {
+                    ftl.write(lba, &data).unwrap();
+                }
+                for _ in 0..cap {
+                    ftl.write(rng.below(cap), &data).unwrap();
+                }
+                black_box(ftl.stats().waf())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rfs(c: &mut Criterion) {
+    let geom = FlashGeometry::small();
+    let blob = vec![0x11u8; 64 * 1024];
+    let mut g = c.benchmark_group("rfs");
+    g.throughput(Throughput::Bytes(blob.len() as u64));
+    g.bench_function("write_read_64KiB_file", |b| {
+        b.iter_batched(
+            || Rfs::format(FlashArray::new(geom, 5), RfsConfig::default()).unwrap(),
+            |mut fs| {
+                fs.create("bench").unwrap();
+                fs.write("bench", &blob).unwrap();
+                black_box(fs.read("bench").unwrap().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short sampling: these are smoke-level performance numbers, and the
+    // full suite must run in CI time.
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ecc, bench_array, bench_ftl, bench_rfs
+}
+criterion_main!(benches);

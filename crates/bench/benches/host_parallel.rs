@@ -1,0 +1,67 @@
+//! Real multithreaded host-software baseline: the wall-clock analogue of
+//! Figure 16's "DRAM" arm, measured on this machine instead of modelled.
+//!
+//! A dataset of 8 KiB items sits in (real) DRAM; 1..8 threads
+//! hamming-compare a query against disjoint slices via `crossbeam::scope`.
+//! Criterion reports the per-thread-count throughput — on real hardware
+//! the curve scales with cores until memory bandwidth binds, which is
+//! exactly the behaviour the paper's host model captures with its
+//! per-thread compare rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bluedbm_isp::hamming::hamming_distance;
+use bluedbm_sim::rng::Rng;
+
+const ITEM: usize = 8192;
+const ITEMS: usize = 512;
+
+fn bench_parallel_scan(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let dataset: Vec<Vec<u8>> = (0..ITEMS)
+        .map(|_| {
+            let mut v = vec![0u8; ITEM];
+            rng.fill_bytes(&mut v);
+            v
+        })
+        .collect();
+    let mut query = vec![0u8; ITEM];
+    rng.fill_bytes(&mut query);
+
+    let mut g = c.benchmark_group("host_parallel_nn");
+    g.throughput(Throughput::Bytes((ITEMS * ITEM) as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let best = AtomicU64::new(u64::MAX);
+                crossbeam::scope(|scope| {
+                    for slice in dataset.chunks(ITEMS.div_ceil(t)) {
+                        let query = &query;
+                        let best = &best;
+                        scope.spawn(move |_| {
+                            let mut local = u32::MAX;
+                            for item in slice {
+                                local = local.min(hamming_distance(query, item));
+                            }
+                            best.fetch_min(u64::from(local), Ordering::Relaxed);
+                        });
+                    }
+                })
+                .expect("threads join");
+                black_box(best.load(Ordering::Relaxed))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short sampling: these are smoke-level performance numbers, and the
+    // full suite must run in CI time.
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_parallel_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Criterion microbenchmarks of the DES itself: how many simulated
+//! events per second the engine, router network and flash controller
+//! sustain (the simulator's wall-clock efficiency).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bluedbm_core::node::Consume;
+use bluedbm_core::{Cluster, NodeId, SystemConfig};
+use bluedbm_net::packet::NetParams;
+use bluedbm_net::router::{build_network, NetSend};
+use bluedbm_net::topology::Topology;
+use bluedbm_sim::engine::Simulator;
+use bluedbm_sim::time::SimTime;
+
+fn bench_event_queue(c: &mut Criterion) {
+    use bluedbm_sim::engine::{Component, Ctx};
+    use std::any::Any;
+
+    struct Bouncer {
+        remaining: u64,
+    }
+    struct Tick;
+    impl Component for Bouncer {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: Box<dyn Any>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.send_self(SimTime::ns(10), Tick);
+            }
+        }
+    }
+
+    const EVENTS: u64 = 100_000;
+    let mut g = c.benchmark_group("des_engine");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("self_message_chain", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new();
+                let id = sim.add_component(Bouncer { remaining: EVENTS });
+                sim.schedule(SimTime::ZERO, id, Tick);
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                black_box(sim.events_delivered())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_router_mesh(c: &mut Criterion) {
+    const PACKETS: usize = 500;
+    let mut g = c.benchmark_group("network_sim");
+    g.throughput(Throughput::Elements(PACKETS as u64));
+    g.bench_function("mesh3x3_500_packets", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::new();
+                let topo = Topology::mesh2d(3, 3);
+                let routers = build_network(&mut sim, &topo, NetParams::paper());
+                for i in 0..PACKETS {
+                    sim.schedule(
+                        SimTime::ZERO,
+                        routers[0],
+                        NetSend::new(bluedbm_net::NodeId(8), (i % 4) as u16, 4096, ()),
+                    );
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                black_box(sim.events_delivered())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_cluster_reads(c: &mut Criterion) {
+    const READS: usize = 200;
+    let mut g = c.benchmark_group("cluster_sim");
+    g.throughput(Throughput::Elements(READS as u64));
+    g.bench_function("remote_read_stream_200", |b| {
+        b.iter_batched(
+            || {
+                let config = SystemConfig::scaled_down();
+                let mut cluster = Cluster::line(2, 1, &config).unwrap();
+                let page = vec![0u8; config.flash.geometry.page_bytes];
+                let addrs: Vec<_> = (0..READS)
+                    .map(|_| cluster.preload_page(NodeId(1), &page).unwrap())
+                    .collect();
+                (cluster, addrs)
+            },
+            |(mut cluster, addrs)| {
+                let done = cluster.stream_reads(NodeId(0), &addrs, Consume::Isp);
+                black_box(done.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Short sampling: these are smoke-level performance numbers, and the
+    // full suite must run in CI time.
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_event_queue, bench_router_mesh, bench_cluster_reads
+}
+criterion_main!(benches);

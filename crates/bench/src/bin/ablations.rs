@@ -1,0 +1,33 @@
+//! Ablation sweeps for the design choices DESIGN.md calls out: tag
+//! parallelism, credit depth, FTL over-provisioning, and the integrated
+//! network's advantage over host-mediated access as distance grows.
+
+use bluedbm_workloads::experiments::ablations;
+
+fn main() {
+    bluedbm_bench::print_exhibit(
+        "Ablation: controller tag parallelism",
+        "multiple commands must be in flight to saturate flash (Section 3.1.1)",
+        &ablations::tag_parallelism().render(),
+    );
+    bluedbm_bench::print_exhibit(
+        "Ablation: link-layer credit depth",
+        "token flow control (Section 3.2.2)",
+        &ablations::credit_depth().render(),
+    );
+    bluedbm_bench::print_exhibit(
+        "Ablation: Flash Server queue depth",
+        "in-order convenience interface with adjustable command queue (Section 3.1.2)",
+        &ablations::flash_server_depth().render(),
+    );
+    bluedbm_bench::print_exhibit(
+        "Ablation: FTL over-provisioning vs write amplification",
+        "driver-side FTL (Section 4)",
+        &ablations::over_provisioning().render(),
+    );
+    bluedbm_bench::print_exhibit(
+        "Ablation: integrated network advantage vs hop count",
+        "ISP-F overlaps storage and network access (Section 6.4)",
+        &ablations::network_integration().render(),
+    );
+}

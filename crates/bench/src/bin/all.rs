@@ -1,0 +1,19 @@
+//! Regenerates every table and figure in one run (the EXPERIMENTS.md
+//! record is produced from this binary's output).
+
+use bluedbm_workloads::experiments as ex;
+
+fn main() {
+    bluedbm_bench::print_exhibit("Table 1", "Artix-7 controller inventory", &ex::tables::table1().render());
+    bluedbm_bench::print_exhibit("Table 2", "Virtex-7 node inventory", &ex::tables::table2().render());
+    bluedbm_bench::print_exhibit("Table 3", "power", &ex::tables::table3().render());
+    bluedbm_bench::print_exhibit("Figure 11", "network bw/latency vs hops", &ex::fig11::run().render());
+    bluedbm_bench::print_exhibit("Figure 12", "remote access latency breakdown", &ex::fig12::run().render());
+    bluedbm_bench::print_exhibit("Figure 13", "storage access bandwidth", &ex::fig13::run().render());
+    bluedbm_bench::print_exhibit("Figure 16", "NN: BlueDBM vs DRAM", &ex::fig16::run().render());
+    bluedbm_bench::print_exhibit("Figure 17", "NN: the RAM-cloud cliff", &ex::fig17::run().render());
+    bluedbm_bench::print_exhibit("Figure 18", "NN: off-the-shelf SSD", &ex::fig18::run().render());
+    bluedbm_bench::print_exhibit("Figure 19", "NN: in-store vs software", &ex::fig19::run().render());
+    bluedbm_bench::print_exhibit("Figure 20", "graph traversal", &ex::fig20::run().render());
+    bluedbm_bench::print_exhibit("Figure 21", "string search", &ex::fig21::run().render());
+}

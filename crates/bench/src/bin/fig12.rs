@@ -1,0 +1,10 @@
+//! Regenerates Figure 12: remote access latency breakdown.
+
+fn main() {
+    let f = bluedbm_workloads::experiments::fig12::run();
+    bluedbm_bench::print_exhibit(
+        "Figure 12: latency of remote data access",
+        "network insignificant everywhere; ISP-F avoids PCIe+software; H-RH-F pays software twice",
+        &f.render(),
+    );
+}

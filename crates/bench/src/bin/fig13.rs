@@ -1,0 +1,10 @@
+//! Regenerates Figure 13: storage access bandwidth scenarios.
+
+fn main() {
+    let f = bluedbm_workloads::experiments::fig13::run();
+    bluedbm_bench::print_exhibit(
+        "Figure 13: bandwidth of data access",
+        "Host-Local 1.6 (PCIe cap), ISP-Local 2.4, ISP-2Nodes 3.4 (one lane), ISP-3Nodes 6.5 GB/s",
+        &f.render(),
+    );
+}

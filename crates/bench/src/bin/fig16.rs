@@ -1,0 +1,10 @@
+//! Regenerates Figure 16: nearest neighbor, BlueDBM vs DRAM vs throttled.
+
+fn main() {
+    let f = bluedbm_workloads::experiments::fig16::run();
+    bluedbm_bench::print_exhibit(
+        "Figure 16: nearest neighbor with BlueDBM up to two nodes",
+        "in-store baseline ~320K cmp/s flat; DRAM scales with threads and crosses mid-chart",
+        &f.render(),
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 17: the RAM-cloud cliff.
+
+fn main() {
+    let f = bluedbm_workloads::experiments::fig17::run();
+    bluedbm_bench::print_exhibit(
+        "Figure 17: nearest neighbor with mostly DRAM",
+        "at 8 threads: DRAM 350K; +10% flash <80K; +5% disk <10K cmp/s",
+        &f.render(),
+    );
+}

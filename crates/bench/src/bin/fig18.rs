@@ -1,0 +1,10 @@
+//! Regenerates Figure 18: off-the-shelf SSD comparison.
+
+fn main() {
+    let f = bluedbm_workloads::experiments::fig18::run();
+    bluedbm_bench::print_exhibit(
+        "Figure 18: nearest neighbor with off-the-shelf SSD",
+        "random SSD poor vs throttled BlueDBM; sequential arrangement recovers to parity",
+        &f.render(),
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 19: in-store vs host software.
+
+fn main() {
+    let f = bluedbm_workloads::experiments::fig19::run();
+    bluedbm_bench::print_exhibit(
+        "Figure 19: nearest neighbor with in-store processing",
+        ">=20% in-store advantage throttled; >=30% unthrottled (PCIe caps software)",
+        &f.render(),
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 20: graph traversal across access paths.
+
+fn main() {
+    let f = bluedbm_workloads::experiments::fig20::run();
+    bluedbm_bench::print_exhibit(
+        "Figure 20: graph traversal performance",
+        "ISP-F ~3x the generic distributed path; beats 50%-DRAM software comfortably",
+        &f.render(),
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 1: flash controller module inventory (software
+//! substitute for the Artix-7 resource-utilization table).
+
+fn main() {
+    let t = bluedbm_workloads::experiments::tables::table1();
+    bluedbm_bench::print_exhibit(
+        "Table 1: flash controller on Artix-7 (model inventory substitute)",
+        "bus controller 7131 LUTs x8, ECC dec/enc, scoreboard, PHY, SerDes; 56% of the chip",
+        &t.render(),
+    );
+}

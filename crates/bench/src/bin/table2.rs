@@ -1,0 +1,11 @@
+//! Regenerates Table 2: host Virtex-7 module inventory (software
+//! substitute for the FPGA resource-utilization table).
+
+fn main() {
+    let t = bluedbm_workloads::experiments::tables::table2();
+    bluedbm_bench::print_exhibit(
+        "Table 2: host Virtex-7 modules (model inventory substitute)",
+        "flash/network/DRAM/host interfaces; 45% LUTs used, room left for accelerators",
+        &t.render(),
+    );
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 3: estimated power consumption.
+
+fn main() {
+    let t = bluedbm_workloads::experiments::tables::table3();
+    bluedbm_bench::print_exhibit(
+        "Table 3: BlueDBM estimated power consumption",
+        "VC707 30W + 2 flash boards 10W + Xeon 200W = 240W/node; <20% overhead",
+        &t.render(),
+    );
+}

@@ -1,0 +1,29 @@
+//! # bluedbm-bench
+//!
+//! Two kinds of benchmark live here:
+//!
+//! * **Table/figure binaries** (`src/bin/table1.rs` … `src/bin/fig21.rs`,
+//!   `src/bin/ablations.rs`): each regenerates one exhibit of the paper's
+//!   evaluation by calling the corresponding driver in
+//!   [`bluedbm_workloads::experiments`] and printing the table. Run e.g.
+//!   `cargo run -p bluedbm-bench --bin fig13 --release`.
+//! * **Criterion microbenchmarks** (`benches/`): wall-clock performance
+//!   of the functional cores (ECC, Morris-Pratt, hamming, LSH, FTL,
+//!   router) — the simulator's own speed, as opposed to the simulated
+//!   device speeds the binaries report.
+
+/// Print a standard experiment banner around a rendered table.
+pub fn print_exhibit(title: &str, paper_summary: &str, body: &str) {
+    println!("== {title} ==");
+    println!("paper: {paper_summary}");
+    println!();
+    println!("{body}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_prints() {
+        super::print_exhibit("Figure 0", "n/a", "body");
+    }
+}

@@ -1,0 +1,680 @@
+//! The cluster facade: build a DES world of N BlueDBM nodes and drive it
+//! with synchronous-feeling operations.
+//!
+//! A [`Cluster`] owns the simulator, the per-node flash stacks
+//! (controller + splitter per card), the node agents, the PCIe links and
+//! the integrated network. Experiment drivers inject operations, the
+//! cluster runs the event queue to quiescence, and completions come back
+//! with simulated timestamps.
+
+use std::error::Error;
+use std::fmt;
+
+use bluedbm_flash::array::FlashArray;
+use bluedbm_flash::controller::{CtrlStats, FlashController};
+use bluedbm_flash::error::FlashError;
+use bluedbm_flash::splitter::FlashSplitter;
+use bluedbm_host::pcie::PcieLink;
+use bluedbm_net::router::{build_network, Router, RouterStats};
+use bluedbm_net::topology::{NodeId, Topology};
+use bluedbm_sim::engine::{ComponentId, Simulator};
+use bluedbm_sim::time::SimTime;
+
+use crate::config::SystemConfig;
+use crate::node::{AgentOp, Completed, Consume, NodeAgent, DATA_ENDPOINTS, REQUEST_ENDPOINT};
+
+pub use crate::node::GlobalPageAddr;
+
+/// Errors surfaced by the cluster facade.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// An underlying flash operation failed.
+    Flash(FlashError),
+    /// A node's flash cards are fully allocated.
+    DeviceFull(NodeId),
+    /// The simulation quiesced without producing the expected completion
+    /// (a wiring bug, surfaced as an error for debuggability).
+    MissingCompletion,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Flash(e) => write!(f, "flash error: {e}"),
+            ClusterError::DeviceFull(n) => write!(f, "no free pages left on {n}"),
+            ClusterError::MissingCompletion => write!(f, "operation produced no completion"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for ClusterError {
+    fn from(e: FlashError) -> Self {
+        ClusterError::Flash(e)
+    }
+}
+
+/// A completed single read with its simulated latency.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompletedRead {
+    /// Page contents.
+    pub data: Vec<u8>,
+    /// Operation latency (accept to data-at-destination).
+    pub latency: SimTime,
+}
+
+/// A DES world of BlueDBM nodes. See the
+/// [crate-level documentation](crate) for an example.
+pub struct Cluster {
+    sim: Simulator,
+    config: SystemConfig,
+    topo: Topology,
+    routers: Vec<ComponentId>,
+    agents: Vec<ComponentId>,
+    pcie: Vec<ComponentId>,
+    controllers: Vec<Vec<ComponentId>>,
+    /// Next unallocated linear page per (node, card).
+    bump: Vec<Vec<usize>>,
+    next_op: u64,
+}
+
+impl Cluster {
+    /// Build a cluster over an explicit topology.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` reserves the right
+    /// to validate configurations (and keeps call sites uniform with the
+    /// other constructors).
+    pub fn new(topo: Topology, config: &SystemConfig) -> Result<Self, ClusterError> {
+        let mut sim = Simulator::new();
+        let routers = build_network(&mut sim, &topo, config.net);
+        let n = topo.node_count();
+        let mut agents = Vec::with_capacity(n);
+        let mut pcie = Vec::with_capacity(n);
+        let mut controllers = Vec::with_capacity(n);
+        for node in 0..n {
+            let mut node_ctrls = Vec::new();
+            let mut node_splitters = Vec::new();
+            for card in 0..config.flash.cards_per_node {
+                let array = FlashArray::new(
+                    config.flash.geometry,
+                    0xB1DE + (node as u64) << 8 | card as u64,
+                );
+                let ctrl = sim.add_component(FlashController::new(array, config.flash.timing));
+                let split = sim.add_component(FlashSplitter::new(
+                    ctrl,
+                    FlashController::PAPER_TAGS,
+                ));
+                node_ctrls.push(ctrl);
+                node_splitters.push(split);
+            }
+            let link = sim.add_component(PcieLink::new(config.pcie));
+            let agent = sim.add_component(NodeAgent::new(
+                NodeId::from(node),
+                routers[node],
+                link,
+                node_splitters,
+                config.flash.geometry.page_bytes,
+                config.host.dram_latency,
+            ));
+            let router = sim
+                .component_mut::<Router>(routers[node])
+                .expect("router installed");
+            router.register_endpoint(REQUEST_ENDPOINT, agent);
+            for ep in 1..=DATA_ENDPOINTS {
+                router.register_endpoint(ep, agent);
+            }
+            agents.push(agent);
+            pcie.push(link);
+            controllers.push(node_ctrls);
+        }
+        Ok(Cluster {
+            sim,
+            config: *config,
+            bump: vec![vec![0; config.flash.cards_per_node]; n],
+            topo,
+            routers,
+            agents,
+            pcie,
+            controllers,
+            next_op: 0,
+        })
+    }
+
+    /// A ring of `n` nodes with enough lanes to mirror the paper's
+    /// cabling (4 each way for n > 2).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::new`].
+    pub fn ring(n: usize, config: &SystemConfig) -> Result<Self, ClusterError> {
+        let lanes = if n == 2 { 4 } else { 4.min(8 / 2) };
+        Self::new(Topology::ring(n, lanes), config)
+    }
+
+    /// A line of `n` nodes with `lanes` parallel cables per hop.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::new`].
+    pub fn line(n: usize, lanes: usize, config: &SystemConfig) -> Result<Self, ClusterError> {
+        Self::new(Topology::line(n, lanes), config)
+    }
+
+    /// The system configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.topo.node_count()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Allocate the next free page on `node` (round-robin across cards,
+    /// and striped across every bus and chip within a card so sequential
+    /// allocations exploit the device's full parallelism — the same
+    /// discipline the FTL uses).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::DeviceFull`] when every card is exhausted.
+    pub fn alloc_page(&mut self, node: NodeId) -> Result<GlobalPageAddr, ClusterError> {
+        let geom = self.config.flash.geometry;
+        let cards = &mut self.bump[node.index()];
+        let card = (0..cards.len())
+            .min_by_key(|&c| cards[c])
+            .filter(|&c| cards[c] < geom.total_pages())
+            .ok_or(ClusterError::DeviceFull(node))?;
+        let i = cards[card];
+        cards[card] += 1;
+        // Chip-interleaved layout: consecutive allocations land on
+        // consecutive (bus, chip) planes.
+        let chips = geom.total_chips();
+        let plane = i % chips;
+        let within = i / chips;
+        let ppa = bluedbm_flash::Ppa::new(
+            (plane / geom.chips_per_bus) as u16,
+            (plane % geom.chips_per_bus) as u16,
+            (within / geom.pages_per_block) as u32,
+            (within % geom.pages_per_block) as u32,
+        );
+        Ok(GlobalPageAddr {
+            node,
+            card: card as u8,
+            ppa,
+        })
+    }
+
+    fn op_id(&mut self) -> u64 {
+        let id = self.next_op;
+        self.next_op += 1;
+        id
+    }
+
+    fn harvest(&mut self, node: NodeId) -> Vec<Completed> {
+        self.sim
+            .component_mut::<NodeAgent>(self.agents[node.index()])
+            .expect("agent installed")
+            .take_completed()
+    }
+
+    fn run_one(&mut self, node: NodeId, op: AgentOp) -> Result<Completed, ClusterError> {
+        self.sim.schedule(SimTime::ZERO, self.agents[node.index()], op);
+        self.sim.run();
+        let mut done = self.harvest(node);
+        let one = done.pop().ok_or(ClusterError::MissingCompletion)?;
+        debug_assert!(done.is_empty(), "single op produced multiple completions");
+        match one.error {
+            Some(e) => Err(ClusterError::Flash(e)),
+            None => Ok(one),
+        }
+    }
+
+    /// Write a page to `node`'s own flash through the full DES path.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or flash failures.
+    pub fn write_page_local(
+        &mut self,
+        node: NodeId,
+        data: &[u8],
+    ) -> Result<GlobalPageAddr, ClusterError> {
+        let addr = self.alloc_page(node)?;
+        let op_id = self.op_id();
+        self.run_one(
+            node,
+            AgentOp::WriteFlash {
+                op_id,
+                addr,
+                data: data.to_vec(),
+            },
+        )?;
+        Ok(addr)
+    }
+
+    /// Preload a page without simulating the write (experiment setup:
+    /// building a 100k-page dataset should not cost 100k simulated
+    /// tPROGs).
+    ///
+    /// # Errors
+    ///
+    /// Allocation or flash failures.
+    pub fn preload_page(
+        &mut self,
+        node: NodeId,
+        data: &[u8],
+    ) -> Result<GlobalPageAddr, ClusterError> {
+        let addr = self.alloc_page(node)?;
+        let ctrl = self.controllers[node.index()][addr.card as usize];
+        self.sim
+            .component_mut::<FlashController>(ctrl)
+            .expect("controller installed")
+            .array_mut()
+            .program(addr.ppa, data)?;
+        Ok(addr)
+    }
+
+    /// Read a page, consumed by the in-store processor of `reader`
+    /// (local flash or the ISP-F remote path, depending on `addr`).
+    ///
+    /// # Errors
+    ///
+    /// Flash failures.
+    pub fn read_page_remote(
+        &mut self,
+        reader: NodeId,
+        addr: GlobalPageAddr,
+    ) -> Result<CompletedRead, ClusterError> {
+        self.read_page(reader, addr, Consume::Isp)
+    }
+
+    /// Read a page into `reader`'s host memory (adds the PCIe crossing).
+    ///
+    /// # Errors
+    ///
+    /// Flash failures.
+    pub fn read_page_host(
+        &mut self,
+        reader: NodeId,
+        addr: GlobalPageAddr,
+    ) -> Result<CompletedRead, ClusterError> {
+        self.read_page(reader, addr, Consume::Host)
+    }
+
+    /// Read with an explicit consumer.
+    ///
+    /// # Errors
+    ///
+    /// Flash failures.
+    pub fn read_page(
+        &mut self,
+        reader: NodeId,
+        addr: GlobalPageAddr,
+        consume: Consume,
+    ) -> Result<CompletedRead, ClusterError> {
+        let op_id = self.op_id();
+        let done = self.run_one(
+            reader,
+            AgentOp::ReadFlash {
+                op_id,
+                addr,
+                consume,
+            },
+        )?;
+        Ok(CompletedRead {
+            data: done.data.expect("successful read carries data"),
+            latency: done.end - done.start,
+        })
+    }
+
+    /// Stage data into `node`'s DRAM buffer.
+    pub fn load_dram(&mut self, node: NodeId, key: u64, data: &[u8]) {
+        self.sim.schedule(
+            SimTime::ZERO,
+            self.agents[node.index()],
+            AgentOp::LoadDram {
+                key,
+                data: data.to_vec(),
+            },
+        );
+        self.sim.run();
+    }
+
+    /// Read `host`'s DRAM buffer from `reader` over the integrated
+    /// network (the H-D path's storage half).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Flash`] wrapping `UnknownHandle` when `key` was
+    /// never loaded.
+    pub fn read_remote_dram(
+        &mut self,
+        reader: NodeId,
+        host: NodeId,
+        key: u64,
+        consume: Consume,
+    ) -> Result<CompletedRead, ClusterError> {
+        let op_id = self.op_id();
+        let done = self.run_one(
+            reader,
+            AgentOp::ReadRemoteDram {
+                op_id,
+                node: host,
+                key,
+                consume,
+            },
+        )?;
+        Ok(CompletedRead {
+            data: done.data.expect("successful read carries data"),
+            latency: done.end - done.start,
+        })
+    }
+
+    /// Inject a batch of reads at `reader` (all at the current instant),
+    /// run to quiescence, and return every completion. Used by the
+    /// bandwidth experiments (Figure 13): per-class sustained rates are
+    /// computed from the completion timestamps.
+    pub fn stream_reads(
+        &mut self,
+        reader: NodeId,
+        addrs: &[GlobalPageAddr],
+        consume: Consume,
+    ) -> Vec<Completed> {
+        for &addr in addrs {
+            let op_id = self.op_id();
+            self.sim.schedule(
+                SimTime::ZERO,
+                self.agents[reader.index()],
+                AgentOp::ReadFlash {
+                    op_id,
+                    addr,
+                    consume,
+                },
+            );
+        }
+        self.sim.run();
+        self.harvest(reader)
+    }
+
+    /// Run a user-defined in-store processor over an address stream —
+    /// the paper's hardware-software codesign interface: the host
+    /// supplies physical addresses (from
+    /// [`bluedbm_ftl::Rfs::physical_addrs`] in the full flow), the
+    /// engine consumes pages *in stream order* at simulated device
+    /// bandwidth (the Flash Server's in-order interface), and only the
+    /// engine's result state returns.
+    ///
+    /// Returns the simulated time from first request to last page.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first page whose read failed.
+    pub fn isp_scan(
+        &mut self,
+        reader: NodeId,
+        addrs: &[GlobalPageAddr],
+        engine: &mut dyn bluedbm_isp::Accelerator,
+    ) -> Result<SimTime, ClusterError> {
+        let t0 = self.sim.now();
+        let mut done = self.stream_reads(reader, addrs, Consume::Isp);
+        if done.len() != addrs.len() {
+            return Err(ClusterError::MissingCompletion);
+        }
+        // Reorder completions back into the host-supplied stream order
+        // (op ids were assigned in that order).
+        done.sort_by_key(|c| c.op_id);
+        let mut last = t0;
+        for (seq, c) in done.into_iter().enumerate() {
+            if let Some(e) = c.error {
+                return Err(ClusterError::Flash(e));
+            }
+            last = last.max(c.end);
+            let data = c.data.expect("successful reads carry data");
+            engine.consume(seq as u64, &data);
+        }
+        Ok(last - t0)
+    }
+
+    /// Shortest-path hop count between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is unreachable from `a` (the cluster network must be
+    /// connected).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let d = self.topo.distances_from(a)[b.index()];
+        assert_ne!(d, u32::MAX, "{b} unreachable from {a}");
+        d
+    }
+
+    /// Router statistics for `node`.
+    pub fn router_stats(&self, node: NodeId) -> RouterStats {
+        self.sim
+            .component::<Router>(self.routers[node.index()])
+            .expect("router installed")
+            .stats()
+            .clone()
+    }
+
+    /// Controller statistics for one card of `node`.
+    pub fn controller_stats(&self, node: NodeId, card: usize) -> CtrlStats {
+        self.sim
+            .component::<FlashController>(self.controllers[node.index()][card])
+            .expect("controller installed")
+            .stats()
+            .clone()
+    }
+
+    /// The PCIe link component id of `node` (advanced drivers can inject
+    /// [`bluedbm_host::pcie::PcieXfer`]s directly).
+    pub fn pcie_id(&self, node: NodeId) -> ComponentId {
+        self.pcie[node.index()]
+    }
+
+    /// Direct simulator access for advanced experiment drivers.
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.node_count())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(config: &SystemConfig, fill: u8) -> Vec<u8> {
+        vec![fill; config.flash.geometry.page_bytes]
+    }
+
+    #[test]
+    fn local_write_then_read_round_trip() {
+        let config = SystemConfig::scaled_down();
+        let mut cluster = Cluster::ring(2, &config).unwrap();
+        let addr = cluster.write_page_local(NodeId(0), &page(&config, 1)).unwrap();
+        let read = cluster.read_page_remote(NodeId(0), addr).unwrap();
+        assert_eq!(read.data, page(&config, 1));
+        // Local ISP read: tR 50us + bus transfer (2 KiB page at 150 MB/s
+        // is ~13.7us), no network.
+        assert!(read.latency >= SimTime::us(50));
+        assert!(read.latency < SimTime::us(66), "{}", read.latency);
+    }
+
+    #[test]
+    fn remote_read_pays_the_network_but_not_much() {
+        let config = SystemConfig::scaled_down();
+        let mut cluster = Cluster::ring(4, &config).unwrap();
+        let addr = cluster.preload_page(NodeId(0), &page(&config, 7)).unwrap();
+        let local = cluster.read_page_remote(NodeId(0), addr).unwrap();
+        let remote = cluster.read_page_remote(NodeId(1), addr).unwrap();
+        assert_eq!(remote.data, page(&config, 7));
+        assert!(remote.latency > local.latency);
+        // One hop each way (0.48us) plus the 8KB+ page on the wire: the
+        // paper's "integrated network adds ~5% to a flash access".
+        let overhead = remote.latency - local.latency;
+        assert!(
+            overhead < SimTime::us(12),
+            "network overhead too large: {overhead}"
+        );
+    }
+
+    #[test]
+    fn host_read_adds_pcie_crossing() {
+        let config = SystemConfig::scaled_down();
+        let mut cluster = Cluster::ring(2, &config).unwrap();
+        let addr = cluster.preload_page(NodeId(0), &page(&config, 3)).unwrap();
+        let isp = cluster.read_page_remote(NodeId(0), addr).unwrap();
+        let host = cluster.read_page_host(NodeId(0), addr).unwrap();
+        assert_eq!(host.data, page(&config, 3));
+        let gap = host.latency - isp.latency;
+        // DMA setup 1us + ~1.3us transfer (2KB page at 1.6GB/s) + 2us
+        // completion.
+        assert!(gap > SimTime::us(3) && gap < SimTime::us(10), "{gap}");
+    }
+
+    #[test]
+    fn remote_dram_read_works_and_is_faster_than_flash() {
+        let config = SystemConfig::scaled_down();
+        let mut cluster = Cluster::ring(2, &config).unwrap();
+        let data = page(&config, 9);
+        cluster.load_dram(NodeId(1), 42, &data);
+        let flash_addr = cluster.preload_page(NodeId(1), &data).unwrap();
+        let dram = cluster
+            .read_remote_dram(NodeId(0), NodeId(1), 42, Consume::Isp)
+            .unwrap();
+        let flash = cluster.read_page_remote(NodeId(0), flash_addr).unwrap();
+        assert_eq!(dram.data, data);
+        // DRAM skips the 50us tR.
+        assert!(flash.latency > dram.latency + SimTime::us(40));
+    }
+
+    #[test]
+    fn missing_dram_key_reports_error() {
+        let config = SystemConfig::scaled_down();
+        let mut cluster = Cluster::ring(2, &config).unwrap();
+        let err = cluster
+            .read_remote_dram(NodeId(0), NodeId(1), 999, Consume::Isp)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::Flash(FlashError::UnknownHandle(999))
+        ));
+    }
+
+    #[test]
+    fn unwritten_page_read_errors() {
+        let config = SystemConfig::scaled_down();
+        let mut cluster = Cluster::ring(2, &config).unwrap();
+        let addr = cluster.alloc_page(NodeId(0)).unwrap();
+        let err = cluster.read_page_remote(NodeId(0), addr).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::Flash(FlashError::NotProgrammed(_))
+        ));
+    }
+
+    #[test]
+    fn allocation_spreads_across_cards_and_fills_up() {
+        let mut config = SystemConfig::scaled_down();
+        config.flash.geometry = bluedbm_flash::FlashGeometry::tiny();
+        let mut cluster = Cluster::ring(2, &config).unwrap();
+        let a = cluster.alloc_page(NodeId(0)).unwrap();
+        let b = cluster.alloc_page(NodeId(0)).unwrap();
+        assert_ne!(a.card, b.card, "round-robin across the two cards");
+        let total = 2 * config.flash.geometry.total_pages();
+        for _ in 2..total {
+            cluster.alloc_page(NodeId(0)).unwrap();
+        }
+        assert!(matches!(
+            cluster.alloc_page(NodeId(0)),
+            Err(ClusterError::DeviceFull(_))
+        ));
+    }
+
+    #[test]
+    fn isp_scan_streams_in_order_at_device_bandwidth() {
+        use bluedbm_isp::mp::MpMatcher;
+        let config = SystemConfig::paper();
+        let mut cluster = Cluster::line(2, 1, &config).unwrap();
+        let page_bytes = config.flash.geometry.page_bytes;
+
+        // A needle straddling two consecutive pages on the REMOTE node:
+        // stream-order delivery is what makes it findable.
+        let needle = b"cross-page-needle";
+        let mut haystack = vec![b'.'; 32 * page_bytes];
+        let at = 3 * page_bytes - 5;
+        haystack[at..at + needle.len()].copy_from_slice(needle);
+        let addrs: Vec<GlobalPageAddr> = haystack
+            .chunks(page_bytes)
+            .map(|c| cluster.preload_page(NodeId(1), c).unwrap())
+            .collect();
+
+        let mut engine = MpMatcher::new(needle).unwrap();
+        let elapsed = cluster.isp_scan(NodeId(0), &addrs, &mut engine).unwrap();
+        assert_eq!(engine.matches(), &[at as u64]);
+        // 32 pages over the single 8.2Gbps lane, minus the ~110us
+        // pipeline fill of the first page.
+        let rate = haystack.len() as f64 / elapsed.as_secs_f64();
+        assert!(rate > 0.5e9, "scan rate {rate:.3e}");
+    }
+
+    #[test]
+    fn isp_scan_reports_failed_pages() {
+        let config = SystemConfig::scaled_down();
+        let mut cluster = Cluster::ring(2, &config).unwrap();
+        let addr = cluster.alloc_page(NodeId(0)).unwrap(); // never written
+        let mut engine =
+            bluedbm_isp::hamming::HammingEngine::new(vec![0; config.flash.geometry.page_bytes]);
+        let err = cluster.isp_scan(NodeId(0), &[addr], &mut engine).unwrap_err();
+        assert!(matches!(err, ClusterError::Flash(_)));
+    }
+
+    #[test]
+    fn stream_of_remote_reads_saturates_one_lane() {
+        // Paper geometry: the flash side sustains 2.4 GB/s, so the single
+        // 8.2 Gbps lane (~1.0 GB/s) is the bottleneck — Figure 13's
+        // ISP-2Nodes remote component.
+        let config = SystemConfig::paper();
+        let mut cluster = Cluster::line(2, 1, &config).unwrap();
+        let page_bytes = config.flash.geometry.page_bytes;
+        let mut addrs = Vec::new();
+        for i in 0..600 {
+            let data = vec![i as u8; page_bytes];
+            addrs.push(cluster.preload_page(NodeId(1), &data).unwrap());
+        }
+        let t0 = cluster.now();
+        let done = cluster.stream_reads(NodeId(0), &addrs, Consume::Isp);
+        assert_eq!(done.len(), 600);
+        let last = done.iter().map(|c| c.end).max().unwrap();
+        let bytes = (600 * page_bytes) as f64;
+        let rate = bytes / (last - t0).as_secs_f64();
+        assert!(
+            rate > 0.90e9 && rate < 1.06e9,
+            "one-lane remote stream: {rate:.3e} B/s"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! A cluster-wide key-value store over the global address space.
+//!
+//! BlueDBM grew out of the authors' "scalable multi-access flash store
+//! for Big Data analytics" (their FPGA'14 system, the paper's reference 20); this
+//! module provides that store as a library API on top of [`Cluster`]:
+//! values are paged onto whichever node the key hashes to, and any node
+//! can `get` any key — the integrated network makes placement invisible
+//! apart from a microsecond-scale latency difference.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use bluedbm_net::topology::NodeId;
+use bluedbm_sim::time::SimTime;
+
+use crate::cluster::{Cluster, ClusterError, GlobalPageAddr};
+use crate::node::Consume;
+
+/// Where a value's pages live.
+#[derive(Clone, Debug)]
+struct ValueRecord {
+    pages: Vec<GlobalPageAddr>,
+    len: usize,
+}
+
+/// A get result: the value plus the simulated time the reads took.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GetResult {
+    /// The stored bytes.
+    pub value: Vec<u8>,
+    /// Simulated wall time spent reading (pages stream concurrently).
+    pub elapsed: SimTime,
+}
+
+/// Cluster-backed key-value store.
+///
+/// # Examples
+///
+/// ```rust
+/// use bluedbm_core::kvstore::KvStore;
+/// use bluedbm_core::{Cluster, NodeId, SystemConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SystemConfig::scaled_down();
+/// let cluster = Cluster::ring(4, &config)?;
+/// let mut store = KvStore::new(cluster);
+/// store.put(b"user:42", b"a value that spans flash pages")?;
+/// let got = store.get(NodeId(2), b"user:42")?;
+/// assert_eq!(got.value, b"a value that spans flash pages");
+/// # Ok(())
+/// # }
+/// ```
+pub struct KvStore {
+    cluster: Cluster,
+    directory: HashMap<Vec<u8>, ValueRecord>,
+}
+
+impl KvStore {
+    /// Wrap a cluster as a key-value store.
+    pub fn new(cluster: Cluster) -> Self {
+        KvStore {
+            cluster,
+            directory: HashMap::new(),
+        }
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// `true` if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// `true` if `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.directory.contains_key(key)
+    }
+
+    /// The node a key's value is placed on (FNV-1a over the key, modulo
+    /// cluster size — deterministic, so a restarted client agrees).
+    pub fn home_node(&self, key: &[u8]) -> NodeId {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        NodeId::from((h % self.cluster.node_count() as u64) as usize)
+    }
+
+    /// Access the underlying cluster (stats, simulated clock).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Store `value` under `key`, replacing any previous value. The
+    /// write goes through the full simulated flash stack on the key's
+    /// home node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and flash failures.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), ClusterError> {
+        let node = self.home_node(key);
+        let page_bytes = self.cluster.config().flash.geometry.page_bytes;
+        let mut pages = Vec::with_capacity(value.len().div_ceil(page_bytes).max(1));
+        if value.is_empty() {
+            // Zero-length values still occupy a directory entry only.
+        }
+        for chunk in value.chunks(page_bytes) {
+            let addr = if chunk.len() == page_bytes {
+                self.cluster.write_page_local(node, chunk)?
+            } else {
+                let mut padded = chunk.to_vec();
+                padded.resize(page_bytes, 0);
+                self.cluster.write_page_local(node, &padded)?
+            };
+            pages.push(addr);
+        }
+        // NAND pages cannot be reclaimed without an FTL here; the old
+        // extent simply becomes garbage (the FTL crate handles real
+        // reclamation — this store is an allocation-forward log).
+        self.directory.insert(
+            key.to_vec(),
+            ValueRecord {
+                pages,
+                len: value.len(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Fetch `key`'s value from the perspective of `reader` (any node).
+    /// Pages are streamed concurrently; `elapsed` is the simulated time
+    /// from first request to last page.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Flash`] wrapping `UnknownHandle` when the key is
+    /// absent, or underlying read failures.
+    pub fn get(&mut self, reader: NodeId, key: &[u8]) -> Result<GetResult, ClusterError> {
+        let record = self
+            .directory
+            .get(key)
+            .cloned()
+            .ok_or(ClusterError::Flash(bluedbm_flash::FlashError::UnknownHandle(0)))?;
+        let t0 = self.cluster.now();
+        if record.pages.is_empty() {
+            return Ok(GetResult {
+                value: Vec::new(),
+                elapsed: SimTime::ZERO,
+            });
+        }
+        let done = self
+            .cluster
+            .stream_reads(reader, &record.pages, Consume::Isp);
+        if done.len() != record.pages.len() {
+            return Err(ClusterError::MissingCompletion);
+        }
+        // Reassemble in page order (completions may arrive out of order).
+        let mut by_addr: HashMap<GlobalPageAddr, Vec<u8>> = HashMap::new();
+        let mut last = t0;
+        for c in done {
+            if let Some(e) = c.error {
+                return Err(ClusterError::Flash(e));
+            }
+            last = last.max(c.end);
+            if let (Some(addr), Some(data)) = (c.addr, c.data) {
+                if let Entry::Vacant(v) = by_addr.entry(addr) {
+                    v.insert(data);
+                }
+            }
+        }
+        let mut value = Vec::with_capacity(record.len);
+        for addr in &record.pages {
+            value.extend_from_slice(&by_addr[addr]);
+        }
+        value.truncate(record.len);
+        Ok(GetResult {
+            value,
+            elapsed: last - t0,
+        })
+    }
+
+    /// Remove `key`. Returns whether it was present. (Pages become
+    /// garbage; see `put`.)
+    pub fn delete(&mut self, key: &[u8]) -> bool {
+        self.directory.remove(key).is_some()
+    }
+}
+
+impl std::fmt::Debug for KvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvStore")
+            .field("keys", &self.directory.len())
+            .field("nodes", &self.cluster.node_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn store(nodes: usize) -> KvStore {
+        let config = SystemConfig::scaled_down();
+        KvStore::new(Cluster::ring(nodes, &config).expect("cluster"))
+    }
+
+    #[test]
+    fn put_get_round_trip_multi_page() {
+        let mut s = store(4);
+        let page = s.cluster().config().flash.geometry.page_bytes;
+        let value: Vec<u8> = (0..3 * page + 123).map(|i| i as u8).collect();
+        s.put(b"big", &value).unwrap();
+        for reader in 0..4u16 {
+            let got = s.get(NodeId(reader), b"big").unwrap();
+            assert_eq!(got.value, value, "reader {reader}");
+            assert!(got.elapsed >= SimTime::us(50), "flash was touched");
+        }
+    }
+
+    #[test]
+    fn keys_spread_across_nodes() {
+        let s = store(4);
+        let mut homes = std::collections::HashSet::new();
+        for i in 0..64 {
+            homes.insert(s.home_node(format!("key{i}").as_bytes()));
+        }
+        assert!(homes.len() >= 3, "hashing should use most nodes: {homes:?}");
+    }
+
+    #[test]
+    fn overwrite_returns_latest_and_delete_removes() {
+        let mut s = store(2);
+        s.put(b"k", b"first").unwrap();
+        s.put(b"k", b"second value").unwrap();
+        assert_eq!(s.get(NodeId(0), b"k").unwrap().value, b"second value");
+        assert!(s.delete(b"k"));
+        assert!(!s.delete(b"k"));
+        assert!(s.get(NodeId(0), b"k").is_err());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn empty_value_and_missing_key() {
+        let mut s = store(2);
+        s.put(b"empty", b"").unwrap();
+        assert_eq!(s.get(NodeId(1), b"empty").unwrap().value, b"");
+        assert!(s.get(NodeId(1), b"never").is_err());
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(b"empty"));
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = store(4);
+        let b = store(4);
+        for key in [b"alpha".as_slice(), b"beta", b"gamma"] {
+            assert_eq!(a.home_node(key), b.home_node(key));
+        }
+    }
+
+    #[test]
+    fn remote_get_costs_only_the_network() {
+        let mut s = store(4);
+        let page = s.cluster().config().flash.geometry.page_bytes;
+        s.put(b"k", &vec![7u8; page]).unwrap();
+        let home = s.home_node(b"k");
+        let local = s.get(home, b"k").unwrap().elapsed;
+        let far = NodeId::from((home.index() + 2) % 4);
+        let remote = s.get(far, b"k").unwrap().elapsed;
+        assert!(remote > local);
+        assert!(remote < local + SimTime::us(25), "near-uniform access");
+    }
+}

@@ -1,0 +1,56 @@
+//! # bluedbm-core
+//!
+//! The BlueDBM appliance itself: 20-node-class clusters of host servers,
+//! each with a flash storage device carrying in-store processors and
+//! integrated network ports (paper Figure 1/2).
+//!
+//! This crate composes the substrate crates into
+//!
+//! * [`config::SystemConfig`] — every calibration constant of the model,
+//!   each traced to the paper sentence it comes from;
+//! * [`cluster::Cluster`] — a DES world of N nodes: flash cards behind
+//!   splitters, a node agent (the in-store processing fabric), the
+//!   integrated network, and a PCIe link per node, with a synchronous
+//!   facade for experiments;
+//! * [`paths`] — the four remote-access paths of Figure 12 (ISP-F, H-F,
+//!   H-RH-F, H-D) with latency breakdowns;
+//! * [`baselines`] — the comparison arms: host CPU model, off-the-shelf
+//!   SSD, HDD, DRAM store and the RAM-cloud spill model (Figures 16–21);
+//! * [`power`] — the Table 3 power model and the RAM-cloud comparison;
+//! * [`scheduler`] — the FIFO accelerator scheduler of Section 4.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use bluedbm_core::{Cluster, SystemConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SystemConfig::scaled_down();
+//! let mut cluster = Cluster::ring(4, &config)?;
+//! let page = vec![0xAB; config.flash.geometry.page_bytes];
+//! let addr = cluster.write_page_local(0.into(), &page)?;
+//! let read = cluster.read_page_remote(2.into(), addr)?;
+//! assert_eq!(read.data, page);
+//! assert!(read.latency.as_us() >= 50); // flash tR dominates
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baselines;
+pub mod cluster;
+pub mod config;
+pub mod kvstore;
+pub mod node;
+pub mod paths;
+pub mod power;
+pub mod scheduler;
+
+pub use cluster::{Cluster, CompletedRead, GlobalPageAddr};
+pub use config::SystemConfig;
+pub use kvstore::KvStore;
+pub use paths::{AccessPath, LatencyBreakdown};
+pub use power::PowerModel;
+pub use scheduler::AcceleratorScheduler;
+
+// Re-export the node id type used throughout the public API.
+pub use bluedbm_net::topology::NodeId;

@@ -1,0 +1,631 @@
+//! The per-node agent: the glue fabric of one BlueDBM storage device.
+//!
+//! In the paper's node architecture (Figure 2) the in-store processor
+//! sits between four services: flash interface, network interface, host
+//! interface and the on-board DRAM buffer. [`NodeAgent`] is that hub as a
+//! DES component: it accepts operations from the experiment driver,
+//! issues tagged commands to the local flash splitters, serves and issues
+//! remote requests over the integrated network, stages host-bound data
+//! through the PCIe link, and answers remote DRAM-buffer reads.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use bluedbm_flash::controller::{CtrlCmd, CtrlResp, Tag};
+use bluedbm_flash::error::FlashError;
+use bluedbm_flash::geometry::Ppa;
+use bluedbm_host::pcie::{Direction, PcieDone, PcieXfer};
+use bluedbm_net::router::{NetRecv, NetSend};
+use bluedbm_net::topology::NodeId;
+use bluedbm_sim::engine::{Component, ComponentId, Ctx};
+use bluedbm_sim::time::SimTime;
+
+/// Endpoint used for remote request messages.
+pub const REQUEST_ENDPOINT: u16 = 0;
+/// Number of endpoints used for data return (spread across parallel
+/// lanes by the deterministic router).
+pub const DATA_ENDPOINTS: u16 = 4;
+/// Wire size of a remote read request.
+pub const REQUEST_BYTES: u32 = 32;
+
+/// A page address in the cluster-wide global address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GlobalPageAddr {
+    /// Owning node.
+    pub node: NodeId,
+    /// Flash card within the node.
+    pub card: u8,
+    /// Physical page on that card.
+    pub ppa: Ppa,
+}
+
+/// Who consumes the data of a read.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Consume {
+    /// The in-store processor: data stays on the device (ISP-* paths).
+    Isp,
+    /// Host software: data additionally crosses the PCIe link (Host-*
+    /// and H-* paths).
+    Host,
+}
+
+/// Operations the experiment driver sends to a [`NodeAgent`].
+#[derive(Debug)]
+pub enum AgentOp {
+    /// Read one page of the global address space (local or remote — the
+    /// agent routes accordingly).
+    ReadFlash {
+        /// Driver-chosen id echoed in the completion record.
+        op_id: u64,
+        /// Page to read.
+        addr: GlobalPageAddr,
+        /// Data destination.
+        consume: Consume,
+    },
+    /// Program one local page.
+    WriteFlash {
+        /// Driver-chosen id echoed in the completion record.
+        op_id: u64,
+        /// Page to program; must be local to this agent's node.
+        addr: GlobalPageAddr,
+        /// Page contents.
+        data: Vec<u8>,
+    },
+    /// Stage data into this node's DRAM buffer (setup; immediate).
+    LoadDram {
+        /// Key later used by `ReadRemoteDram`.
+        key: u64,
+        /// Value stored.
+        data: Vec<u8>,
+    },
+    /// Read a remote node's DRAM buffer over the integrated network (the
+    /// H-D path of Figure 12).
+    ReadRemoteDram {
+        /// Driver-chosen id echoed in the completion record.
+        op_id: u64,
+        /// Node whose DRAM buffer is read.
+        node: NodeId,
+        /// Key to fetch.
+        key: u64,
+        /// Data destination.
+        consume: Consume,
+    },
+}
+
+/// A finished operation, harvested by the cluster facade.
+#[derive(Debug)]
+pub struct Completed {
+    /// Echo of the driver's op id.
+    pub op_id: u64,
+    /// Address the operation touched (reads/writes).
+    pub addr: Option<GlobalPageAddr>,
+    /// Page data for reads; `None` for writes.
+    pub data: Option<Vec<u8>>,
+    /// Failure, if any.
+    pub error: Option<FlashError>,
+    /// When the agent accepted the operation.
+    pub start: SimTime,
+    /// When it completed (data fully at its destination).
+    pub end: SimTime,
+}
+
+/// Remote request carried over the storage network.
+#[derive(Debug)]
+struct RemoteReq {
+    req_id: u64,
+    origin: NodeId,
+    reply_ep: u16,
+    kind: RemoteKind,
+}
+
+#[derive(Debug)]
+enum RemoteKind {
+    Flash(GlobalPageAddr),
+    Dram(u64),
+}
+
+/// Remote response carried over the storage network.
+#[derive(Debug)]
+struct RemoteResp {
+    req_id: u64,
+    addr: Option<GlobalPageAddr>,
+    data: Result<Vec<u8>, FlashError>,
+}
+
+/// Delayed local DRAM reply (models the DRAM access latency of a
+/// remote-DRAM request being serviced).
+#[derive(Debug)]
+struct DramServed {
+    origin: NodeId,
+    reply_ep: u16,
+    resp: RemoteResp,
+    bytes: u32,
+}
+
+/// What an in-flight flash tag is for.
+enum FlashDest {
+    Local {
+        op_id: u64,
+        addr: GlobalPageAddr,
+        consume: Consume,
+        start: SimTime,
+    },
+    LocalWrite {
+        op_id: u64,
+        addr: GlobalPageAddr,
+        start: SimTime,
+    },
+    RemoteJob {
+        origin: NodeId,
+        req_id: u64,
+        reply_ep: u16,
+        addr: GlobalPageAddr,
+    },
+}
+
+/// A network round trip awaiting its response.
+struct NetPending {
+    op_id: u64,
+    consume: Consume,
+    start: SimTime,
+}
+
+/// The node hub component. Built by [`crate::cluster::Cluster`].
+pub struct NodeAgent {
+    node: NodeId,
+    router: ComponentId,
+    pcie: ComponentId,
+    /// Splitter (or controller) per flash card.
+    cards: Vec<ComponentId>,
+    page_bytes: usize,
+    dram_latency: SimTime,
+
+    next_tag: u16,
+    flash_pending: HashMap<u16, FlashDest>,
+    next_req: u64,
+    /// Per-destination counter for round-robin data-return endpoints
+    /// (spreads response traffic across parallel lanes regardless of how
+    /// requests to different destinations interleave).
+    reply_rr: HashMap<NodeId, u64>,
+    net_pending: HashMap<u64, NetPending>,
+    /// Host-bound pages in flight on PCIe: token -> (op state).
+    pcie_pending: HashMap<u64, (u64, Option<GlobalPageAddr>, SimTime)>,
+    next_pcie_token: u64,
+    dram: HashMap<u64, Vec<u8>>,
+    /// Finished operations awaiting harvest.
+    completed: Vec<Completed>,
+}
+
+impl NodeAgent {
+    /// Build an agent for `node` wired to its router, PCIe link and flash
+    /// card frontends.
+    pub fn new(
+        node: NodeId,
+        router: ComponentId,
+        pcie: ComponentId,
+        cards: Vec<ComponentId>,
+        page_bytes: usize,
+        dram_latency: SimTime,
+    ) -> Self {
+        NodeAgent {
+            node,
+            router,
+            pcie,
+            cards,
+            page_bytes,
+            dram_latency,
+            next_tag: 0,
+            flash_pending: HashMap::new(),
+            next_req: 0,
+            reply_rr: HashMap::new(),
+            net_pending: HashMap::new(),
+            pcie_pending: HashMap::new(),
+            next_pcie_token: 0,
+            dram: HashMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Drain all completions recorded so far.
+    pub fn take_completed(&mut self) -> Vec<Completed> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Inspect the DRAM buffer (test support).
+    pub fn dram_get(&self, key: u64) -> Option<&Vec<u8>> {
+        self.dram.get(&key)
+    }
+
+    fn alloc_tag(&mut self) -> u16 {
+        // Rolling 16-bit tags; collision would need 65k in flight.
+        loop {
+            let t = self.next_tag;
+            self.next_tag = self.next_tag.wrapping_add(1);
+            if !self.flash_pending.contains_key(&t) {
+                return t;
+            }
+        }
+    }
+
+    fn issue_local_read(&mut self, ctx: &mut Ctx<'_>, addr: GlobalPageAddr, dest: FlashDest) {
+        let tag = self.alloc_tag();
+        self.flash_pending.insert(tag, dest);
+        let me = ctx.self_id();
+        ctx.send(
+            self.cards[addr.card as usize],
+            SimTime::ZERO,
+            CtrlCmd::Read {
+                tag: Tag(tag),
+                ppa: addr.ppa,
+                reply_to: me,
+            },
+        );
+    }
+
+    fn complete(
+        &mut self,
+        now: SimTime,
+        op_id: u64,
+        addr: Option<GlobalPageAddr>,
+        data: Result<Vec<u8>, FlashError>,
+        start: SimTime,
+    ) {
+        let (data, error) = match data {
+            Ok(d) => (Some(d), None),
+            Err(e) => (None, Some(e)),
+        };
+        self.completed.push(Completed {
+            op_id,
+            addr,
+            data,
+            error,
+            start,
+            end: now,
+        });
+    }
+
+    /// Deliver read data to its consumer: ISP completes here; Host pays
+    /// the PCIe crossing first.
+    fn consume_read(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        op_id: u64,
+        addr: Option<GlobalPageAddr>,
+        consume: Consume,
+        start: SimTime,
+        data: Result<Vec<u8>, FlashError>,
+    ) {
+        match (consume, data) {
+            (Consume::Isp, data) => self.complete(ctx.now(), op_id, addr, data, start),
+            (Consume::Host, Ok(data)) => {
+                let token = self.next_pcie_token;
+                self.next_pcie_token += 1;
+                self.pcie_pending.insert(token, (op_id, addr, start));
+                let me = ctx.self_id();
+                ctx.send(
+                    self.pcie,
+                    SimTime::ZERO,
+                    PcieXfer::new(Direction::DeviceToHost, data.len() as u32, me, token, data),
+                );
+            }
+            (Consume::Host, Err(e)) => self.complete(ctx.now(), op_id, addr, Err(e), start),
+        }
+    }
+
+    fn handle_op(&mut self, ctx: &mut Ctx<'_>, op: AgentOp) {
+        match op {
+            AgentOp::ReadFlash {
+                op_id,
+                addr,
+                consume,
+            } => {
+                if addr.node == self.node {
+                    self.issue_local_read(
+                        ctx,
+                        addr,
+                        FlashDest::Local {
+                            op_id,
+                            addr,
+                            consume,
+                            start: ctx.now(),
+                        },
+                    );
+                } else {
+                    let req_id = self.next_req;
+                    self.next_req += 1;
+                    self.net_pending.insert(
+                        req_id,
+                        NetPending {
+                            op_id,
+                            consume,
+                            start: ctx.now(),
+                        },
+                    );
+                    let rr = self.reply_rr.entry(addr.node).or_insert(0);
+                    let reply_ep = 1 + (*rr % u64::from(DATA_ENDPOINTS)) as u16;
+                    *rr += 1;
+                    ctx.send(
+                        self.router,
+                        SimTime::ZERO,
+                        NetSend::new(
+                            addr.node,
+                            REQUEST_ENDPOINT,
+                            REQUEST_BYTES,
+                            RemoteReq {
+                                req_id,
+                                origin: self.node,
+                                reply_ep,
+                                kind: RemoteKind::Flash(addr),
+                            },
+                        ),
+                    );
+                }
+            }
+            AgentOp::WriteFlash { op_id, addr, data } => {
+                assert_eq!(addr.node, self.node, "remote writes are not modelled");
+                let tag = self.alloc_tag();
+                self.flash_pending.insert(
+                    tag,
+                    FlashDest::LocalWrite {
+                        op_id,
+                        addr,
+                        start: ctx.now(),
+                    },
+                );
+                let me = ctx.self_id();
+                ctx.send(
+                    self.cards[addr.card as usize],
+                    SimTime::ZERO,
+                    CtrlCmd::Write {
+                        tag: Tag(tag),
+                        ppa: addr.ppa,
+                        data,
+                        reply_to: me,
+                    },
+                );
+            }
+            AgentOp::LoadDram { key, data } => {
+                self.dram.insert(key, data);
+            }
+            AgentOp::ReadRemoteDram {
+                op_id,
+                node,
+                key,
+                consume,
+            } => {
+                let req_id = self.next_req;
+                self.next_req += 1;
+                self.net_pending.insert(
+                    req_id,
+                    NetPending {
+                        op_id,
+                        consume,
+                        start: ctx.now(),
+                    },
+                );
+                let rr = self.reply_rr.entry(node).or_insert(0);
+                let reply_ep = 1 + (*rr % u64::from(DATA_ENDPOINTS)) as u16;
+                *rr += 1;
+                ctx.send(
+                    self.router,
+                    SimTime::ZERO,
+                    NetSend::new(
+                        node,
+                        REQUEST_ENDPOINT,
+                        REQUEST_BYTES,
+                        RemoteReq {
+                            req_id,
+                            origin: self.node,
+                            reply_ep,
+                            kind: RemoteKind::Dram(key),
+                        },
+                    ),
+                );
+            }
+        }
+    }
+
+    fn handle_ctrl_resp(&mut self, ctx: &mut Ctx<'_>, resp: CtrlResp) {
+        let tag = resp.tag().0;
+        let dest = self
+            .flash_pending
+            .remove(&tag)
+            .expect("completion for a tag the agent never issued");
+        match (dest, resp) {
+            (
+                FlashDest::Local {
+                    op_id,
+                    addr,
+                    consume,
+                    start,
+                },
+                CtrlResp::ReadDone { result, .. },
+            ) => {
+                self.consume_read(ctx, op_id, Some(addr), consume, start, result.map(|r| r.data));
+            }
+            (FlashDest::LocalWrite { op_id, addr, start }, CtrlResp::WriteDone { result, .. }) => {
+                let data = result.map(|()| Vec::new());
+                self.complete(ctx.now(), op_id, Some(addr), data, start);
+            }
+            (
+                FlashDest::RemoteJob {
+                    origin,
+                    req_id,
+                    reply_ep,
+                    addr,
+                },
+                CtrlResp::ReadDone { result, .. },
+            ) => {
+                let data = result.map(|r| r.data);
+                let bytes = self.page_bytes as u32;
+                ctx.send(
+                    self.router,
+                    SimTime::ZERO,
+                    NetSend::new(
+                        origin,
+                        reply_ep,
+                        bytes,
+                        RemoteResp {
+                            req_id,
+                            addr: Some(addr),
+                            data,
+                        },
+                    ),
+                );
+            }
+            _ => panic!("mismatched flash completion kind"),
+        }
+    }
+
+    fn handle_net(&mut self, ctx: &mut Ctx<'_>, recv: NetRecv) {
+        let body = match recv.body.downcast::<RemoteReq>() {
+            Ok(req) => {
+                let req = *req;
+                match req.kind {
+                    RemoteKind::Flash(addr) => {
+                        debug_assert_eq!(addr.node, self.node);
+                        self.issue_local_read(
+                            ctx,
+                            addr,
+                            FlashDest::RemoteJob {
+                                origin: req.origin,
+                                req_id: req.req_id,
+                                reply_ep: req.reply_ep,
+                                addr,
+                            },
+                        );
+                    }
+                    RemoteKind::Dram(key) => {
+                        let data = self
+                            .dram
+                            .get(&key)
+                            .cloned()
+                            .ok_or(FlashError::UnknownHandle(key));
+                        let bytes = data.as_ref().map(|d| d.len() as u32).unwrap_or(8);
+                        // Model the DRAM access before replying.
+                        ctx.send_self(
+                            self.dram_latency,
+                            DramServed {
+                                origin: req.origin,
+                                reply_ep: req.reply_ep,
+                                resp: RemoteResp {
+                                    req_id: req.req_id,
+                                    addr: None,
+                                    data,
+                                },
+                                bytes,
+                            },
+                        );
+                    }
+                }
+                return;
+            }
+            Err(body) => body,
+        };
+        let resp = body
+            .downcast::<RemoteResp>()
+            .expect("node agent got an unexpected network body");
+        let resp = *resp;
+        let pending = self
+            .net_pending
+            .remove(&resp.req_id)
+            .expect("response for a request the agent never sent");
+        self.consume_read(
+            ctx,
+            pending.op_id,
+            resp.addr,
+            pending.consume,
+            pending.start,
+            resp.data,
+        );
+    }
+}
+
+impl Component for NodeAgent {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
+        let msg = match msg.downcast::<AgentOp>() {
+            Ok(op) => return self.handle_op(ctx, *op),
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<CtrlResp>() {
+            Ok(resp) => return self.handle_ctrl_resp(ctx, *resp),
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<NetRecv>() {
+            Ok(recv) => return self.handle_net(ctx, *recv),
+            Err(m) => m,
+        };
+        let msg = match msg.downcast::<DramServed>() {
+            Ok(served) => {
+                let served = *served;
+                ctx.send(
+                    self.router,
+                    SimTime::ZERO,
+                    NetSend::new(served.origin, served.reply_ep, served.bytes, served.resp),
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let done = msg
+            .downcast::<PcieDone>()
+            .expect("node agent got an unexpected message type");
+        let (op_id, addr, start) = self
+            .pcie_pending
+            .remove(&done.token)
+            .expect("PCIe completion for an unknown token");
+        let data = *done
+            .body
+            .downcast::<Vec<u8>>()
+            .expect("page data rides the PCIe body");
+        self.complete(ctx.now(), op_id, addr, Ok(data), start);
+    }
+}
+
+/// The Virtex-7 module inventory of one node — the software analogue of
+/// the paper's Table 2.
+pub fn node_inventory(cards: usize) -> Vec<(&'static str, usize)> {
+    vec![
+        ("flash interface", cards),
+        ("network interface", 1),
+        ("dram interface", 1),
+        ("host interface", 1),
+        ("in-store processor slots", 4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_table2_modules() {
+        let inv = node_inventory(2);
+        let names: Vec<&str> = inv.iter().map(|(n, _)| *n).collect();
+        for expected in [
+            "flash interface",
+            "network interface",
+            "dram interface",
+            "host interface",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn global_addr_ordering_and_copy() {
+        let a = GlobalPageAddr {
+            node: NodeId(0),
+            card: 0,
+            ppa: Ppa::new(0, 0, 0, 0),
+        };
+        let b = GlobalPageAddr {
+            node: NodeId(1),
+            card: 0,
+            ppa: Ppa::new(0, 0, 0, 0),
+        };
+        assert!(a < b);
+        let c = a;
+        assert_eq!(a, c);
+    }
+}

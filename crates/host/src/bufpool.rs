@@ -1,0 +1,153 @@
+//! Page buffer pools (paper Section 3.3).
+//!
+//! "The host interface provides the software with 128 page buffers, each
+//! for reads and writes. When writing a page, the software will request a
+//! free write buffer, copy data to the write buffer, and send a write
+//! request over RPC ... The buffer will be returned to the free queue
+//! when the hardware has finished reading the data from the buffer."
+
+use std::collections::VecDeque;
+
+/// A fixed pool of page buffers with free-queue discipline.
+///
+/// # Examples
+///
+/// ```rust
+/// use bluedbm_host::bufpool::BufferPool;
+///
+/// let mut pool = BufferPool::new(4);
+/// let a = pool.alloc().unwrap();
+/// let b = pool.alloc().unwrap();
+/// assert_ne!(a, b);
+/// pool.free(a);
+/// assert_eq!(pool.available(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    free: VecDeque<u16>,
+    in_use: Vec<bool>,
+    /// High-water mark of simultaneous allocations.
+    peak_in_use: usize,
+    /// Allocation attempts that found the pool empty.
+    exhaustions: u64,
+}
+
+impl BufferPool {
+    /// The paper's pool size: 128 buffers per direction.
+    pub const PAPER_BUFFERS: usize = 128;
+
+    /// A pool of `n` buffers, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds `u16::MAX`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n <= u16::MAX as usize);
+        BufferPool {
+            free: (0..n as u16).collect(),
+            in_use: vec![false; n],
+            peak_in_use: 0,
+            exhaustions: 0,
+        }
+    }
+
+    /// A 128-buffer pool, as in the paper.
+    pub fn paper() -> Self {
+        Self::new(Self::PAPER_BUFFERS)
+    }
+
+    /// Total buffers in the pool.
+    pub fn capacity(&self) -> usize {
+        self.in_use.len()
+    }
+
+    /// Currently free buffers.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Grab a free buffer index, FIFO order. `None` when exhausted.
+    pub fn alloc(&mut self) -> Option<u16> {
+        match self.free.pop_front() {
+            Some(idx) => {
+                self.in_use[idx as usize] = true;
+                let used = self.capacity() - self.available();
+                self.peak_in_use = self.peak_in_use.max(used);
+                Some(idx)
+            }
+            None => {
+                self.exhaustions += 1;
+                None
+            }
+        }
+    }
+
+    /// Return a buffer to the free queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or an out-of-range index — both indicate a
+    /// protocol bug in the caller, not a runtime condition.
+    pub fn free(&mut self, idx: u16) {
+        let slot = &mut self.in_use[idx as usize];
+        assert!(*slot, "double free of buffer {idx}");
+        *slot = false;
+        self.free.push_back(idx);
+    }
+
+    /// Highest simultaneous allocation count seen.
+    pub fn peak_in_use(&self) -> usize {
+        self.peak_in_use
+    }
+
+    /// Times `alloc` returned `None`.
+    pub fn exhaustions(&self) -> u64 {
+        self.exhaustions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p = BufferPool::new(2);
+        let a = p.alloc().unwrap();
+        let b = p.alloc().unwrap();
+        assert_eq!(p.available(), 0);
+        assert!(p.alloc().is_none());
+        assert_eq!(p.exhaustions(), 1);
+        p.free(a);
+        let c = p.alloc().unwrap();
+        assert_eq!(c, a, "FIFO free queue recycles the oldest free buffer");
+        p.free(b);
+        p.free(c);
+        assert_eq!(p.available(), 2);
+        assert_eq!(p.peak_in_use(), 2);
+    }
+
+    #[test]
+    fn paper_pool_has_128() {
+        let p = BufferPool::paper();
+        assert_eq!(p.capacity(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut p = BufferPool::new(2);
+        let a = p.alloc().unwrap();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    fn all_indices_distinct() {
+        let mut p = BufferPool::new(128);
+        let mut got: Vec<u16> = (0..128).map(|_| p.alloc().unwrap()).collect();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 128);
+    }
+}

@@ -1,0 +1,29 @@
+//! # bluedbm-host
+//!
+//! The host interface of a BlueDBM node (paper Section 3.3): the PCIe
+//! link between the storage device and its Xeon server, the 4+4 DMA
+//! engines behind Connectal's RPC/DMA framework, the 128+128 page-buffer
+//! pools, and the "vector of FIFOs" burst-reassembly structure of
+//! Figure 7.
+//!
+//! Calibration comes straight from the paper (Section 5): Connectal's
+//! PCIe Gen 1 endpoint "caps our performance at 1.6 GB/s reads and
+//! 1 GB/s writes", with four read and four write DMA engines to keep the
+//! link busy.
+//!
+//! ## Pieces
+//!
+//! * [`PcieParams`] — bandwidth caps and latency constants.
+//! * [`PcieLink`] — DES component serializing transfers in each
+//!   direction; send it [`PcieXfer`]s, receive [`PcieDone`]s.
+//! * [`BufferPool`] — the free-queue discipline of the 128 page buffers.
+//! * [`ReorderQueue`] — per-buffer FIFOs that accumulate interleaved
+//!   flash bursts until a DMA burst is contiguous.
+
+pub mod bufpool;
+pub mod pcie;
+pub mod reorder;
+
+pub use bufpool::BufferPool;
+pub use pcie::{Direction, PcieDone, PcieLink, PcieParams, PcieXfer};
+pub use reorder::ReorderQueue;

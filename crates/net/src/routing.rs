@@ -1,0 +1,172 @@
+//! Deterministic per-endpoint routing (paper Section 3.2.3).
+//!
+//! For every (source node, destination node, endpoint) the network uses
+//! one fixed path. Different endpoints to the same destination may use
+//! different — equally short — paths, which spreads traffic over parallel
+//! links while preserving per-endpoint FIFO order (the paper's Figure 6
+//! invariant; taking it further would require expensive completion
+//! buffers in the storage device).
+//!
+//! There is no discovery protocol (the paper relies on a network
+//! configuration file); tables are computed offline from the
+//! [`Topology`] by BFS and endpoint-indexed selection among equal-cost
+//! next hops.
+
+use crate::topology::{NodeId, PortId, Topology};
+
+/// Precomputed next-hop tables for every node.
+///
+/// # Examples
+///
+/// ```rust
+/// use bluedbm_net::routing::RoutingTable;
+/// use bluedbm_net::topology::{NodeId, Topology};
+///
+/// let topo = Topology::ring(4, 2);
+/// let table = RoutingTable::compute(&topo);
+/// let port = table.next_port(NodeId(0), NodeId(2), 0).unwrap();
+/// let (hop, _) = topo.peer(NodeId(0), port).unwrap();
+/// assert!(hop == NodeId(1) || hop == NodeId(3)); // either way around
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    /// `candidates[src][dst]` = ports of `src` that begin a shortest path
+    /// to `dst` (empty when unreachable or src == dst).
+    candidates: Vec<Vec<Vec<PortId>>>,
+    /// `hops[src][dst]` = shortest-path length.
+    hops: Vec<Vec<u32>>,
+}
+
+impl RoutingTable {
+    /// Compute tables for `topo`.
+    pub fn compute(topo: &Topology) -> Self {
+        let n = topo.node_count();
+        let mut hops = Vec::with_capacity(n);
+        for src in 0..n {
+            hops.push(topo.distances_from(NodeId::from(src)));
+        }
+        let mut candidates = vec![vec![Vec::new(); n]; n];
+        for src in 0..n {
+            for dst in 0..n {
+                if src == dst || hops[src][dst] == u32::MAX {
+                    continue;
+                }
+                let want = hops[src][dst] - 1;
+                let mut ports: Vec<PortId> = topo
+                    .neighbors(NodeId::from(src))
+                    .filter(|(_, m)| hops[m.index()][dst] == want)
+                    .map(|(p, _)| p)
+                    .collect();
+                ports.sort();
+                candidates[src][dst] = ports;
+            }
+        }
+        RoutingTable { candidates, hops }
+    }
+
+    /// The egress port node `src` uses toward `dst` for `endpoint`.
+    ///
+    /// Returns `None` when `src == dst` or `dst` is unreachable.
+    pub fn next_port(&self, src: NodeId, dst: NodeId, endpoint: u16) -> Option<PortId> {
+        let ports = &self.candidates[src.index()][dst.index()];
+        if ports.is_empty() {
+            None
+        } else {
+            Some(ports[endpoint as usize % ports.len()])
+        }
+    }
+
+    /// Shortest-path hop count (`None` if unreachable).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> Option<u32> {
+        let h = self.hops[src.index()][dst.index()];
+        (h != u32::MAX).then_some(h)
+    }
+
+    /// The full path an (endpoint, src, dst) flow takes, as a node list
+    /// including both ends. Useful for tests and the EXPERIMENTS harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is unreachable from `src`.
+    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId, endpoint: u16) -> Vec<NodeId> {
+        let mut path = vec![src];
+        let mut here = src;
+        while here != dst {
+            let port = self
+                .next_port(here, dst, endpoint)
+                .expect("destination must be reachable");
+            let (next, _) = topo.peer(here, port).expect("routed port is cabled");
+            path.push(next);
+            here = next;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_follow_shortest_paths() {
+        let topo = Topology::ring(8, 1);
+        let table = RoutingTable::compute(&topo);
+        for src in 0..8 {
+            for dst in 0..8 {
+                if src == dst {
+                    assert!(table.next_port(NodeId(src), NodeId(dst), 0).is_none());
+                    continue;
+                }
+                let path = table.path(&topo, NodeId(src), NodeId(dst), 0);
+                assert_eq!(
+                    path.len() as u32 - 1,
+                    table.hops(NodeId(src), NodeId(dst)).unwrap()
+                );
+                assert_eq!(*path.last().unwrap(), NodeId(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_spread_across_parallel_lanes() {
+        let topo = Topology::line(2, 4);
+        let table = RoutingTable::compute(&topo);
+        let ports: std::collections::HashSet<PortId> = (0..8u16)
+            .map(|e| table.next_port(NodeId(0), NodeId(1), e).unwrap())
+            .collect();
+        assert_eq!(ports.len(), 4, "4 lanes should all be used");
+    }
+
+    #[test]
+    fn same_endpoint_same_path_always() {
+        let topo = Topology::mesh2d(4, 4);
+        let table = RoutingTable::compute(&topo);
+        let p1 = table.path(&topo, NodeId(0), NodeId(15), 3);
+        let p2 = table.path(&topo, NodeId(0), NodeId(15), 3);
+        assert_eq!(p1, p2, "deterministic routing");
+        // Mesh corner-to-corner is 6 hops.
+        assert_eq!(p1.len(), 7);
+    }
+
+    #[test]
+    fn different_endpoints_may_take_different_paths() {
+        let topo = Topology::mesh2d(3, 3);
+        let table = RoutingTable::compute(&topo);
+        let paths: std::collections::HashSet<Vec<NodeId>> = (0..8u16)
+            .map(|e| table.path(&topo, NodeId(0), NodeId(8), e))
+            .collect();
+        assert!(paths.len() > 1, "equal-cost diversity should be exploited");
+        for p in &paths {
+            assert_eq!(p.len(), 5, "all chosen paths are still shortest");
+        }
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let topo = Topology::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let table = RoutingTable::compute(&topo);
+        assert!(table.next_port(NodeId(0), NodeId(2), 0).is_none());
+        assert!(table.hops(NodeId(0), NodeId(2)).is_none());
+        assert_eq!(table.hops(NodeId(0), NodeId(1)), Some(1));
+    }
+}

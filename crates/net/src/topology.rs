@@ -1,0 +1,451 @@
+//! Physical cabling of the storage network.
+//!
+//! A topology is a set of nodes, each with up to
+//! [`Topology::MAX_PORTS`] = 8 serial ports (the fan-out of the paper's
+//! flash board), and full-duplex cables between (node, port) pairs. The
+//! paper's Figure 5 shows a distributed star, a mesh and a fat tree; the
+//! builders here cover those shapes plus arbitrary edge lists loaded from
+//! a "network configuration file" equivalent.
+
+use std::fmt;
+
+/// A storage node in the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(u16::try_from(v).expect("node index fits in u16"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A serial port on a node (0..8).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u8);
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The cabling graph.
+///
+/// # Examples
+///
+/// ```rust
+/// use bluedbm_net::topology::Topology;
+///
+/// let ring = Topology::ring(20, 4); // the paper's 20-node, 4-lane ring
+/// assert_eq!(ring.node_count(), 20);
+/// assert!(ring.is_connected());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// `ports[n][p] = Some((m, q))` when port p of node n is cabled to
+    /// port q of node m.
+    ports: Vec<Vec<Option<(NodeId, PortId)>>>,
+}
+
+impl Topology {
+    /// Physical port fan-out per node (paper Section 5.1: 8 SATA
+    /// connectors pin out the serial ports).
+    pub const MAX_PORTS: usize = 8;
+
+    /// An edgeless topology over `nodes` nodes.
+    pub fn empty(nodes: usize) -> Self {
+        Topology {
+            ports: vec![vec![None; Self::MAX_PORTS]; nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Add a full-duplex cable between the next free ports of `a` and `b`.
+    /// Returns the (port on a, port on b) pair used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node has no free port or `a == b`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId) -> (PortId, PortId) {
+        assert_ne!(a, b, "self-loops are not cables");
+        let pa = self.free_port(a).expect("node a has a free port");
+        let pb = self.free_port(b).expect("node b has a free port");
+        self.ports[a.index()][pa.0 as usize] = Some((b, pb));
+        self.ports[b.index()][pb.0 as usize] = Some((a, pa));
+        (pa, pb)
+    }
+
+    fn free_port(&self, n: NodeId) -> Option<PortId> {
+        self.ports[n.index()]
+            .iter()
+            .position(Option::is_none)
+            .map(|p| PortId(p as u8))
+    }
+
+    /// Remaining free ports on `n`.
+    pub fn free_ports(&self, n: NodeId) -> usize {
+        self.ports[n.index()].iter().filter(|p| p.is_none()).count()
+    }
+
+    /// The remote end of (node, port), if cabled.
+    pub fn peer(&self, n: NodeId, p: PortId) -> Option<(NodeId, PortId)> {
+        self.ports[n.index()][p.0 as usize]
+    }
+
+    /// All cabled ports of `n` with their peers.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (PortId, NodeId)> + '_ {
+        self.ports[n.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(p, link)| link.map(|(m, _)| (PortId(p as u8), m)))
+    }
+
+    /// A ring of `n` nodes with `lanes` parallel cables between adjacent
+    /// nodes (the paper discusses a 20-node ring with 4 lanes each way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `lanes == 0`, or the lane count exceeds the port
+    /// budget (`2 * lanes > 8` for n > 2).
+    pub fn ring(n: usize, lanes: usize) -> Self {
+        assert!(n >= 2 && lanes > 0);
+        let mut t = Self::empty(n);
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if n == 2 && i == 1 {
+                break; // avoid doubling the single edge
+            }
+            for _ in 0..lanes {
+                t.connect(NodeId::from(i), NodeId::from(j));
+            }
+        }
+        t
+    }
+
+    /// A line (open chain) of `n` nodes with `lanes` parallel cables per
+    /// hop — the shape of the Figure 11 hop-count experiment.
+    pub fn line(n: usize, lanes: usize) -> Self {
+        assert!(n >= 2 && lanes > 0);
+        let mut t = Self::empty(n);
+        for i in 0..n - 1 {
+            for _ in 0..lanes {
+                t.connect(NodeId::from(i), NodeId::from(i + 1));
+            }
+        }
+        t
+    }
+
+    /// A `w x h` 2-D mesh (Figure 5b).
+    pub fn mesh2d(w: usize, h: usize) -> Self {
+        assert!(w >= 1 && h >= 1 && w * h >= 2);
+        let mut t = Self::empty(w * h);
+        let id = |x: usize, y: usize| NodeId::from(y * w + x);
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    t.connect(id(x, y), id(x + 1, y));
+                }
+                if y + 1 < h {
+                    t.connect(id(x, y), id(x, y + 1));
+                }
+            }
+        }
+        t
+    }
+
+    /// A distributed star (Figure 5a): `hubs` fully-interconnected hub
+    /// nodes, remaining nodes attached round-robin to hubs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hubs == 0` or `hubs > n`.
+    pub fn star(n: usize, hubs: usize) -> Self {
+        assert!(hubs > 0 && hubs <= n);
+        let mut t = Self::empty(n);
+        for a in 0..hubs {
+            for b in a + 1..hubs {
+                t.connect(NodeId::from(a), NodeId::from(b));
+            }
+        }
+        for leaf in hubs..n {
+            t.connect(NodeId::from(leaf), NodeId::from(leaf % hubs));
+        }
+        t
+    }
+
+    /// A complete tree of the given `fanout` and `levels` (levels >= 1;
+    /// one level is a single node). Every node is a storage node; inner
+    /// nodes route for their subtrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fanout would exceed the port budget (a non-root
+    /// inner node needs `fanout + 1` ports) or `levels == 0`.
+    pub fn tree(fanout: usize, levels: usize) -> Self {
+        assert!(levels >= 1 && fanout >= 1);
+        assert!(
+            fanout + 1 <= Self::MAX_PORTS,
+            "inner nodes need fanout+1 <= 8 ports"
+        );
+        let mut starts = Vec::with_capacity(levels);
+        let mut at = 0;
+        let mut w = 1;
+        for _ in 0..levels {
+            starts.push(at);
+            at += w;
+            w *= fanout;
+        }
+        let total = at;
+        let mut t = Self::empty(total);
+        for level in 1..levels {
+            let parent_start = starts[level - 1];
+            let start = starts[level];
+            let width = fanout.pow(level as u32);
+            for i in 0..width {
+                let child = NodeId::from(start + i);
+                let parent = NodeId::from(parent_start + i / fanout);
+                t.connect(parent, child);
+            }
+        }
+        t
+    }
+
+    /// A two-level fat tree (Figure 5c): every leaf cabled to every
+    /// spine, giving `spines` disjoint shortest paths between any two
+    /// leaves (deterministic routing spreads endpoints across them).
+    ///
+    /// Nodes `0..spines` are spines; `spines..spines+leaves` are leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port budget is exceeded (`spines <= 8` and
+    /// `leaves <= 8`).
+    pub fn fat_tree(leaves: usize, spines: usize) -> Self {
+        assert!(leaves >= 2 && spines >= 1);
+        assert!(
+            spines <= Self::MAX_PORTS && leaves <= Self::MAX_PORTS,
+            "full bipartite cabling is limited by the 8-port fan-out"
+        );
+        let mut t = Self::empty(spines + leaves);
+        for leaf in 0..leaves {
+            for spine in 0..spines {
+                t.connect(NodeId::from(spines + leaf), NodeId::from(spine));
+            }
+        }
+        t
+    }
+
+    /// Build from an explicit edge list (the paper's network configuration
+    /// file). Each `(a, b, lanes)` adds `lanes` parallel cables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge references a node `>= n` or exhausts a port
+    /// budget.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, usize)]) -> Self {
+        let mut t = Self::empty(n);
+        for &(a, b, lanes) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            for _ in 0..lanes {
+                t.connect(NodeId::from(a), NodeId::from(b));
+            }
+        }
+        t
+    }
+
+    /// `true` if every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for (_, v) in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// BFS hop distances from `src` to every node (`u32::MAX` if
+    /// unreachable).
+    pub fn distances_from(&self, src: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.node_count()];
+        dist[src.index()] = 0;
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            for (_, v) in self.neighbors(u) {
+                if dist[v.index()] == u32::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shape() {
+        let t = Topology::ring(20, 4);
+        for n in 0..20 {
+            let id = NodeId::from(n);
+            assert_eq!(t.free_ports(id), 0, "4 lanes each way fill 8 ports");
+            let neighbors: std::collections::HashSet<NodeId> =
+                t.neighbors(id).map(|(_, m)| m).collect();
+            assert_eq!(neighbors.len(), 2);
+        }
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn two_node_ring_does_not_double_edges() {
+        let t = Topology::ring(2, 2);
+        assert_eq!(t.neighbors(NodeId(0)).count(), 2);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn line_distances() {
+        let t = Topology::line(6, 1);
+        let d = t.distances_from(NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn mesh_shape_and_distances() {
+        let t = Topology::mesh2d(3, 3);
+        assert!(t.is_connected());
+        let d = t.distances_from(NodeId(0));
+        // Manhattan distance on the grid.
+        assert_eq!(d[8], 4); // (2,2)
+        assert_eq!(d[4], 2); // (1,1)
+    }
+
+    #[test]
+    fn star_connects_leaves_through_hubs() {
+        let t = Topology::star(10, 2);
+        assert!(t.is_connected());
+        let d = t.distances_from(NodeId(2)); // a leaf on hub 0
+        assert_eq!(d[0], 1);
+        // leaf 3 hangs off hub 1: leaf2 -> hub0 -> hub1 -> leaf3.
+        assert_eq!(d[3], 3);
+    }
+
+    #[test]
+    fn from_edges_with_lanes() {
+        let t = Topology::from_edges(3, &[(0, 1, 1), (0, 2, 2)]);
+        assert_eq!(t.neighbors(NodeId(0)).count(), 3);
+        assert_eq!(t.free_ports(NodeId(0)), 5);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn peer_is_symmetric() {
+        let mut t = Topology::empty(2);
+        let (pa, pb) = t.connect(NodeId(0), NodeId(1));
+        assert_eq!(t.peer(NodeId(0), pa), Some((NodeId(1), pb)));
+        assert_eq!(t.peer(NodeId(1), pb), Some((NodeId(0), pa)));
+    }
+
+    #[test]
+    #[should_panic(expected = "free port")]
+    fn port_budget_enforced() {
+        let mut t = Topology::empty(2);
+        for _ in 0..9 {
+            t.connect(NodeId(0), NodeId(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut t = Topology::empty(2);
+        t.connect(NodeId(0), NodeId(0));
+    }
+
+    #[test]
+    fn tree_shape_and_distances() {
+        let t = Topology::tree(3, 3); // 1 + 3 + 9 nodes
+        assert_eq!(t.node_count(), 13);
+        assert!(t.is_connected());
+        let d = t.distances_from(NodeId(0));
+        // Children at 1..=3 (1 hop), grandchildren at 4..=12 (2 hops).
+        assert!((1..=3).all(|i| d[i] == 1));
+        assert!((4..=12).all(|i| d[i] == 2));
+        // Leaf to a cousin leaf crosses the root: 4 hops.
+        let dl = t.distances_from(NodeId(4));
+        assert_eq!(dl[12], 4);
+        // Single-level tree degenerates to one node.
+        assert_eq!(Topology::tree(4, 1).node_count(), 1);
+    }
+
+    #[test]
+    fn fat_tree_gives_spine_many_disjoint_paths() {
+        use crate::routing::RoutingTable;
+        let t = Topology::fat_tree(4, 3);
+        assert_eq!(t.node_count(), 7);
+        assert!(t.is_connected());
+        // Any two leaves are 2 hops apart through a spine.
+        let d = t.distances_from(NodeId(3));
+        for leaf in 4..7 {
+            assert_eq!(d[leaf], 2);
+        }
+        // Deterministic routing spreads endpoints across all 3 spines.
+        let table = RoutingTable::compute(&t);
+        let spines_used: std::collections::HashSet<NodeId> = (0..8u16)
+            .map(|ep| {
+                let port = table.next_port(NodeId(3), NodeId(6), ep).unwrap();
+                t.peer(NodeId(3), port).unwrap().0
+            })
+            .collect();
+        assert_eq!(spines_used.len(), 3, "all spines carry traffic");
+    }
+
+    #[test]
+    #[should_panic(expected = "8-port fan-out")]
+    fn fat_tree_respects_port_budget() {
+        let _ = Topology::fat_tree(9, 3);
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let t = Topology::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        assert!(!t.is_connected());
+        let d = t.distances_from(NodeId(0));
+        assert_eq!(d[2], u32::MAX);
+    }
+}

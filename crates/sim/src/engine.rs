@@ -1,0 +1,492 @@
+//! The discrete-event engine: components, messages and the event queue.
+//!
+//! Hardware blocks (flash controllers, network switches, DMA engines, ...)
+//! are modelled as [`Component`]s registered with a [`Simulator`]. They
+//! communicate exclusively by scheduling messages to each other's
+//! [`ComponentId`]s with a non-negative delay; the engine delivers messages
+//! in a total order (time, then scheduling sequence), which makes every run
+//! deterministic.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Handle to a component registered with a [`Simulator`].
+///
+/// Ids are small dense integers, assigned in registration order, so they
+/// can be stored freely in routing tables and config structures.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(usize);
+
+impl ComponentId {
+    /// The raw index (useful for building lookup tables keyed by id).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A hardware block in the simulation.
+///
+/// Implementors receive every message addressed to them via
+/// [`Component::handle`] and respond by scheduling further messages through
+/// the [`Ctx`]. The `Any` supertrait enables typed access to component
+/// state after (or during) a run via [`Simulator::component`].
+pub trait Component: Any {
+    /// Process one message delivered at `ctx.now()`.
+    ///
+    /// Unrecognized message types should be ignored or `panic!` — a panic
+    /// indicates a wiring bug, not a runtime condition, so models here
+    /// generally prefer to panic loudly.
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>);
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    to: ComponentId,
+    msg: Box<dyn Any>,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Execution context passed to [`Component::handle`].
+///
+/// Lets the running component read the clock and schedule messages; sends
+/// are buffered and committed to the event queue when the handler returns,
+/// so a handler never observes its own same-instant sends.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: ComponentId,
+    outbox: &'a mut Vec<(SimTime, ComponentId, Box<dyn Any>)>,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the component currently executing.
+    #[inline]
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedule `msg` for delivery to `to` after `delay` (zero is allowed;
+    /// same-instant messages are delivered in send order).
+    pub fn send<M: Any>(&mut self, to: ComponentId, delay: SimTime, msg: M) {
+        self.outbox.push((self.now + delay, to, Box::new(msg)));
+    }
+
+    /// Schedule a message back to the executing component — the idiom for
+    /// modelling internal latency (e.g. "finish this NAND read in 50 µs").
+    pub fn send_self<M: Any>(&mut self, delay: SimTime, msg: M) {
+        self.send(self.self_id, delay, msg);
+    }
+
+    /// Schedule an already-boxed message (used when forwarding payloads
+    /// whose concrete type the forwarder does not know).
+    pub fn send_boxed(&mut self, to: ComponentId, delay: SimTime, msg: Box<dyn Any>) {
+        self.outbox.push((self.now + delay, to, msg));
+    }
+}
+
+/// The event-driven simulator.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    delivered: u64,
+    heap: BinaryHeap<Scheduled>,
+    components: Vec<Option<Box<dyn Component>>>,
+    outbox: Vec<(SimTime, ComponentId, Box<dyn Any>)>,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// An empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            delivered: 0,
+            heap: BinaryHeap::new(),
+            components: Vec::new(),
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last delivered event,
+    /// or the `until` argument of the last bounded run).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    #[inline]
+    pub fn events_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of registered components.
+    #[inline]
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Register a component and return its id.
+    pub fn add_component<C: Component>(&mut self, component: C) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.components.push(Some(Box::new(component)));
+        id
+    }
+
+    /// Reserve an id without installing a component yet.
+    ///
+    /// Component graphs are frequently cyclic (a switch needs the link's
+    /// id, the link needs the switch's); reserving ids first breaks the
+    /// cycle. Sending to a reserved-but-uninstalled id panics at delivery.
+    pub fn reserve(&mut self) -> ComponentId {
+        let id = ComponentId(self.components.len());
+        self.components.push(None);
+        id
+    }
+
+    /// Install a component into a previously [`reserve`](Self::reserve)d slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied.
+    pub fn install<C: Component>(&mut self, id: ComponentId, component: C) {
+        let slot = &mut self.components[id.0];
+        assert!(slot.is_none(), "component slot {id:?} already installed");
+        *slot = Some(Box::new(component));
+    }
+
+    /// Typed shared access to a component's state.
+    ///
+    /// Returns `None` if `id` holds no component or the concrete type is
+    /// not `C`. This is how experiment drivers read statistics out of
+    /// models after a run.
+    pub fn component<C: Component>(&self, id: ComponentId) -> Option<&C> {
+        let c = self.components.get(id.0)?.as_deref()?;
+        (c as &dyn Any).downcast_ref::<C>()
+    }
+
+    /// Typed exclusive access to a component's state.
+    pub fn component_mut<C: Component>(&mut self, id: ComponentId) -> Option<&mut C> {
+        let c = self.components.get_mut(id.0)?.as_deref_mut()?;
+        (c as &mut dyn Any).downcast_mut::<C>()
+    }
+
+    /// Schedule `msg` for delivery to `to` at absolute-time-from-now
+    /// `delay` (external injection; components use [`Ctx::send`]).
+    pub fn schedule<M: Any>(&mut self, delay: SimTime, to: ComponentId, msg: M) {
+        let at = self.now + delay;
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            to,
+            msg: Box::new(msg),
+        });
+        self.seq += 1;
+    }
+
+    /// Deliver the next event, if any. Returns `false` when the queue is
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event targets a reserved slot that was never
+    /// [`install`](Self::install)ed.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        self.delivered += 1;
+
+        let mut component = self.components[ev.to.0]
+            .take()
+            .unwrap_or_else(|| panic!("message sent to uninstalled component {:?}", ev.to));
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ev.to,
+                outbox: &mut self.outbox,
+            };
+            component.handle(&mut ctx, ev.msg);
+        }
+        self.components[ev.to.0] = Some(component);
+
+        for (at, to, msg) in self.outbox.drain(..) {
+            self.heap.push(Scheduled {
+                at,
+                seq: self.seq,
+                to,
+                msg,
+            });
+            self.seq += 1;
+        }
+        true
+    }
+
+    /// Run until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue is empty or the next event is after `until`;
+    /// then advance the clock to exactly `until`.
+    ///
+    /// Events scheduled at exactly `until` are delivered.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(ev) = self.heap.peek() {
+            if ev.at > until {
+                break;
+            }
+            self.step();
+        }
+        debug_assert!(self.now <= until);
+        self.now = until;
+    }
+
+    /// Run until the queue empties or `max_events` more events have been
+    /// delivered. Returns the number actually delivered — a guard against
+    /// accidental livelock in model development.
+    pub fn run_limited(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// `true` if no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("components", &self.components.len())
+            .field("pending_events", &self.heap.len())
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        received: Vec<(SimTime, u32)>,
+        reply_to: Option<ComponentId>,
+    }
+    struct Num(u32);
+
+    impl Component for Echo {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
+            let Num(n) = *msg.downcast::<Num>().expect("unexpected message type");
+            self.received.push((ctx.now(), n));
+            if let Some(to) = self.reply_to {
+                ctx.send(to, SimTime::ns(100), Num(n + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Echo {
+            received: vec![],
+            reply_to: None,
+        });
+        sim.schedule(SimTime::us(3), id, Num(3));
+        sim.schedule(SimTime::us(1), id, Num(1));
+        sim.schedule(SimTime::us(2), id, Num(2));
+        sim.run();
+        let echo = sim.component::<Echo>(id).unwrap();
+        let values: Vec<u32> = echo.received.iter().map(|&(_, n)| n).collect();
+        assert_eq!(values, vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::us(3));
+        assert_eq!(sim.events_delivered(), 3);
+    }
+
+    #[test]
+    fn same_instant_fifo_order() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Echo {
+            received: vec![],
+            reply_to: None,
+        });
+        for n in 0..10 {
+            sim.schedule(SimTime::us(5), id, Num(n));
+        }
+        sim.run();
+        let echo = sim.component::<Echo>(id).unwrap();
+        let values: Vec<u32> = echo.received.iter().map(|&(_, n)| n).collect();
+        assert_eq!(values, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ping_pong_between_components() {
+        let mut sim = Simulator::new();
+        let a = sim.reserve();
+        let b = sim.reserve();
+        sim.install(
+            a,
+            Echo {
+                received: vec![],
+                reply_to: Some(b),
+            },
+        );
+        sim.install(
+            b,
+            Echo {
+                received: vec![],
+                reply_to: None,
+            },
+        );
+        sim.schedule(SimTime::ZERO, a, Num(7));
+        sim.run();
+        assert_eq!(sim.component::<Echo>(a).unwrap().received, vec![(SimTime::ZERO, 7)]);
+        assert_eq!(
+            sim.component::<Echo>(b).unwrap().received,
+            vec![(SimTime::ns(100), 8)]
+        );
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Echo {
+            received: vec![],
+            reply_to: None,
+        });
+        sim.schedule(SimTime::us(1), id, Num(1));
+        sim.schedule(SimTime::us(10), id, Num(2));
+        sim.run_until(SimTime::us(5));
+        assert_eq!(sim.now(), SimTime::us(5));
+        assert_eq!(sim.component::<Echo>(id).unwrap().received.len(), 1);
+        assert!(!sim.is_idle());
+        sim.run();
+        assert_eq!(sim.component::<Echo>(id).unwrap().received.len(), 2);
+    }
+
+    #[test]
+    fn run_until_delivers_events_at_boundary() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Echo {
+            received: vec![],
+            reply_to: None,
+        });
+        sim.schedule(SimTime::us(5), id, Num(1));
+        sim.run_until(SimTime::us(5));
+        assert_eq!(sim.component::<Echo>(id).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn run_limited_bounds_work() {
+        // Two components ping-ponging forever.
+        let mut sim = Simulator::new();
+        let a = sim.reserve();
+        let b = sim.reserve();
+        sim.install(
+            a,
+            Echo {
+                received: vec![],
+                reply_to: Some(b),
+            },
+        );
+        sim.install(
+            b,
+            Echo {
+                received: vec![],
+                reply_to: Some(a),
+            },
+        );
+        sim.schedule(SimTime::ZERO, a, Num(0));
+        let delivered = sim.run_limited(101);
+        assert_eq!(delivered, 101);
+        assert!(!sim.is_idle());
+    }
+
+    #[test]
+    fn typed_access_rejects_wrong_type() {
+        struct Other;
+        impl Component for Other {
+            fn handle(&mut self, _ctx: &mut Ctx<'_>, _msg: Box<dyn Any>) {}
+        }
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Other);
+        assert!(sim.component::<Echo>(id).is_none());
+        assert!(sim.component::<Other>(id).is_some());
+        assert!(sim.component_mut::<Other>(id).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "uninstalled component")]
+    fn sending_to_reserved_slot_panics() {
+        let mut sim = Simulator::new();
+        let id = sim.reserve();
+        sim.schedule(SimTime::ZERO, id, Num(0));
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "already installed")]
+    fn double_install_panics() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Echo {
+            received: vec![],
+            reply_to: None,
+        });
+        sim.install(
+            id,
+            Echo {
+                received: vec![],
+                reply_to: None,
+            },
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! # bluedbm-sim
+//!
+//! The discrete-event simulation (DES) substrate used by every hardware
+//! model in the BlueDBM reproduction. The paper's artifact is an FPGA
+//! system; this crate provides the clock, event queue, resource contention
+//! primitives, statistics and deterministic randomness that let the rest of
+//! the workspace model that hardware in software.
+//!
+//! The kernel is dependency-free and fully deterministic: events have a
+//! total order (time, then insertion sequence), and all randomness flows
+//! from explicitly seeded [`rng::Rng`] instances.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use bluedbm_sim::engine::{Component, Ctx, Simulator};
+//! use bluedbm_sim::time::SimTime;
+//! use std::any::Any;
+//!
+//! /// A component that counts the pings it receives.
+//! struct Counter { pings: u64 }
+//! struct Ping;
+//!
+//! impl Component for Counter {
+//!     fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
+//!         if msg.downcast::<Ping>().is_ok() {
+//!             self.pings += 1;
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new();
+//! let id = sim.add_component(Counter { pings: 0 });
+//! sim.schedule(SimTime::us(5), id, Ping);
+//! sim.schedule(SimTime::us(9), id, Ping);
+//! sim.run();
+//! assert_eq!(sim.component::<Counter>(id).unwrap().pings, 2);
+//! assert_eq!(sim.now(), SimTime::us(9));
+//! ```
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Component, ComponentId, Ctx, Simulator};
+pub use resource::{MultiResource, SerialResource};
+pub use rng::Rng;
+pub use stats::{Counter, Histogram, MeanTracker, Throughput};
+pub use time::{Bandwidth, SimTime};

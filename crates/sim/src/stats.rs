@@ -1,0 +1,462 @@
+//! Measurement primitives: counters, latency histograms, throughput meters.
+//!
+//! Every experiment in the reproduction reports either a latency
+//! distribution (Figures 11, 12, 20) or a sustained throughput (Figures 11,
+//! 13, 16–19, 21); these types are the shared instrumentation the device
+//! models record into.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```rust
+/// use bluedbm_sim::stats::Counter;
+///
+/// let mut reads = Counter::new();
+/// reads.add(3);
+/// reads.inc();
+/// assert_eq!(reads.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming mean/min/max tracker (Welford's algorithm for the variance).
+///
+/// # Examples
+///
+/// ```rust
+/// use bluedbm_sim::stats::MeanTracker;
+///
+/// let mut m = MeanTracker::new();
+/// for x in [1.0, 2.0, 3.0] { m.record(x); }
+/// assert_eq!(m.mean(), 2.0);
+/// assert_eq!(m.min(), Some(1.0));
+/// assert_eq!(m.max(), Some(3.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MeanTracker {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MeanTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// A log-bucketed latency histogram with percentile queries.
+///
+/// Buckets are `(exponent, 16 linear sub-buckets)` over nanosecond values,
+/// giving a bounded relative error (< ~6%) at any magnitude from 1 ns to
+/// hours — good enough to report p50/p99 storage latencies without storing
+/// every sample.
+///
+/// # Examples
+///
+/// ```rust
+/// use bluedbm_sim::stats::Histogram;
+/// use bluedbm_sim::time::SimTime;
+///
+/// let mut h = Histogram::new();
+/// for us in [50, 55, 60, 500] {
+///     h.record(SimTime::us(us));
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(0.5) >= SimTime::us(50));
+/// assert!(h.max() >= SimTime::us(500));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    // Index = bucket; value = count. Bucket for value v (in ns):
+    // v < 16 -> v; otherwise 16 linear sub-buckets per power of two.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+const SUB: u64 = 16;
+
+fn bucket_of(ns: u64) -> usize {
+    if ns < SUB {
+        return ns as usize;
+    }
+    let exp = 63 - ns.leading_zeros() as u64; // floor(log2(ns)), >= 4
+    let sub = (ns >> (exp - 4)) & (SUB - 1);
+    ((exp - 3) * SUB + sub) as usize
+}
+
+fn bucket_lower_bound(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let exp = idx / SUB + 3;
+    let sub = idx % SUB;
+    (1 << exp) + (sub << (exp - 4))
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, t: SimTime) {
+        let ns = t.as_ns();
+        let idx = bucket_of(ns);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::ns((self.sum_ns / self.count as u128) as u64)
+        }
+    }
+
+    /// Exact minimum sample (zero when empty).
+    pub fn min(&self) -> SimTime {
+        if self.count == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime::ns(self.min_ns)
+        }
+    }
+
+    /// Exact maximum sample (zero when empty).
+    pub fn max(&self) -> SimTime {
+        SimTime::ns(self.max_ns)
+    }
+
+    /// Approximate `p`-th percentile (`p` in `[0, 1]`), as the lower bound
+    /// of the bucket containing that rank. Zero when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> SimTime {
+        assert!((0.0..=1.0).contains(&p), "percentile {p} out of range");
+        if self.count == 0 {
+            return SimTime::ZERO;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return SimTime::ns(bucket_lower_bound(idx));
+            }
+        }
+        SimTime::ns(self.max_ns)
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.99),
+            self.max()
+        )
+    }
+}
+
+/// Byte-throughput meter: total bytes over the observation interval.
+///
+/// # Examples
+///
+/// ```rust
+/// use bluedbm_sim::stats::Throughput;
+/// use bluedbm_sim::time::SimTime;
+///
+/// let mut tp = Throughput::new();
+/// tp.record(SimTime::ms(1), 1_000_000);
+/// tp.record(SimTime::ms(2), 1_000_000);
+/// // 2 MB in 2 ms = 1 GB/s.
+/// assert!((tp.bytes_per_sec() - 1e9).abs() / 1e9 < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Throughput {
+    bytes: u64,
+    ops: u64,
+    last: SimTime,
+}
+
+impl Throughput {
+    /// An empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` completed at time `at` (times must be non-decreasing
+    /// across calls for the rate to be meaningful).
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        self.bytes += bytes;
+        self.ops += 1;
+        self.last = self.last.max(at);
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total operations recorded.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Timestamp of the last completion.
+    pub fn last_completion(&self) -> SimTime {
+        self.last
+    }
+
+    /// Bytes per second over `[0, last_completion]` (0.0 when no time has
+    /// passed).
+    pub fn bytes_per_sec(&self) -> f64 {
+        let secs = self.last.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / secs
+        }
+    }
+
+    /// Operations per second over `[0, last_completion]`.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.last.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn mean_tracker_statistics() {
+        let mut m = MeanTracker::new();
+        assert_eq!(m.min(), None);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.record(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.variance() - 4.0).abs() < 1e-12);
+        assert!((m.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(9.0));
+    }
+
+    #[test]
+    fn bucket_round_trip_ordering() {
+        // Bucket lower bounds must be monotone and bucket_of must map each
+        // lower bound to its own bucket.
+        let mut prev = 0;
+        for idx in 0..400 {
+            let lb = bucket_lower_bound(idx);
+            assert!(lb >= prev, "lower bounds must be monotone");
+            assert_eq!(bucket_of(lb), idx, "lb {lb} should land in bucket {idx}");
+            prev = lb;
+        }
+    }
+
+    #[test]
+    fn histogram_relative_error_bounded() {
+        let mut h = Histogram::new();
+        let v = SimTime::us(57); // 57_000 ns, deep in log territory
+        h.record(v);
+        let p = h.percentile(0.5);
+        let err = (v.as_ns() as f64 - p.as_ns() as f64).abs() / v.as_ns() as f64;
+        assert!(err < 0.0625, "relative error {err} too large");
+    }
+
+    #[test]
+    fn histogram_percentiles_ordered() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimTime::us(i));
+        }
+        let p50 = h.percentile(0.5);
+        let p90 = h.percentile(0.9);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 >= SimTime::us(450) && p50 <= SimTime::us(550));
+        assert!(p99 >= SimTime::us(900));
+        assert_eq!(h.min(), SimTime::us(1));
+        assert_eq!(h.max(), SimTime::us(1000));
+    }
+
+    #[test]
+    fn histogram_empty_behaviour() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimTime::ZERO);
+        assert_eq!(h.percentile(0.99), SimTime::ZERO);
+        assert_eq!(h.min(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn histogram_percentile_validates() {
+        Histogram::new().percentile(1.5);
+    }
+
+    #[test]
+    fn histogram_display_is_nonempty() {
+        let mut h = Histogram::new();
+        h.record(SimTime::us(50));
+        let s = h.to_string();
+        assert!(s.contains("n=1"));
+    }
+
+    #[test]
+    fn throughput_rates() {
+        let mut tp = Throughput::new();
+        for i in 1..=10u64 {
+            tp.record(SimTime::ms(i), 8192);
+        }
+        assert_eq!(tp.total_bytes(), 81_920);
+        assert_eq!(tp.ops(), 10);
+        assert_eq!(tp.last_completion(), SimTime::ms(10));
+        assert!((tp.ops_per_sec() - 1000.0).abs() < 1e-9);
+        let expect = 81_920.0 / 0.010;
+        assert!((tp.bytes_per_sec() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn throughput_empty_is_zero() {
+        let tp = Throughput::new();
+        assert_eq!(tp.bytes_per_sec(), 0.0);
+        assert_eq!(tp.ops_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! LSH nearest-neighbor workload builder (Figure 15's access pattern).
+//!
+//! Builds a dataset of fixed-size items with planted near-duplicates,
+//! indexes it with [`bluedbm_isp::lsh`], and produces the *bucket
+//! scatter* address stream: the randomly-distributed reads that make the
+//! nearest-neighbor workload flash-unfriendly for naive devices.
+
+use bluedbm_isp::lsh::{LshIndex, LshParams};
+use bluedbm_sim::rng::Rng;
+
+/// A generated LSH workload.
+#[derive(Debug)]
+pub struct LshWorkload {
+    /// All items (page-sized payloads).
+    pub items: Vec<Vec<u8>>,
+    /// The LSH index over those items.
+    pub index: LshIndex,
+    /// Queries: `(query payload, id of the planted true neighbor)`.
+    pub queries: Vec<(Vec<u8>, u64)>,
+}
+
+/// Build a dataset of `items` random items of `item_bytes`, with one
+/// planted near-duplicate per query.
+///
+/// # Panics
+///
+/// Panics if `queries > items`.
+pub fn build(items: usize, item_bytes: usize, queries: usize, seed: u64) -> LshWorkload {
+    assert!(queries <= items, "more queries than items");
+    let mut rng = Rng::new(seed);
+    let mut data: Vec<Vec<u8>> = (0..items)
+        .map(|_| {
+            let mut v = vec![0u8; item_bytes];
+            rng.fill_bytes(&mut v);
+            v
+        })
+        .collect();
+    // Queries are light perturbations (0.5% of bits) of distinct items.
+    let mut qs = Vec::with_capacity(queries);
+    for qi in 0..queries {
+        let target = qi * items / queries.max(1);
+        let mut q = data[target].clone();
+        for _ in 0..(item_bytes * 8 / 200).max(1) {
+            let bit = rng.below((item_bytes * 8) as u64) as usize;
+            q[bit / 8] ^= 1 << (bit % 8);
+        }
+        qs.push((q, target as u64));
+    }
+    let mut index = LshIndex::new(item_bytes, LshParams::default());
+    for (i, item) in data.iter().enumerate() {
+        index.insert(i as u64, item);
+    }
+    // Keep items addressable by id.
+    data.shrink_to_fit();
+    LshWorkload {
+        items: data,
+        index,
+        queries: qs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluedbm_isp::hamming::HammingEngine;
+    use bluedbm_isp::Accelerator;
+
+    #[test]
+    fn queries_find_their_planted_neighbor_through_the_full_pipeline() {
+        let w = build(300, 256, 10, 42);
+        let mut recalled = 0;
+        for (query, want) in &w.queries {
+            // Step 1: LSH candidates (the bucket walk).
+            let candidates = w.index.candidates(query);
+            // Step 2: in-store hamming comparison over candidate pages.
+            let mut engine = HammingEngine::new(query.clone());
+            for &c in &candidates {
+                engine.consume(c, &w.items[c as usize]);
+            }
+            if let Some((best, _)) = engine.best() {
+                if best == *want {
+                    recalled += 1;
+                }
+            }
+        }
+        assert!(recalled >= 9, "recall {recalled}/10");
+    }
+
+    #[test]
+    fn candidate_sets_are_much_smaller_than_the_dataset() {
+        let w = build(500, 128, 5, 7);
+        for (query, _) in &w.queries {
+            let c = w.index.candidates(query);
+            assert!(
+                c.len() < 200,
+                "LSH should prune the dataset: {} candidates",
+                c.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_scatter_addresses_are_spread() {
+        // The candidate lists of different queries should address very
+        // different item sets — the paper's random-access pattern.
+        let w = build(400, 128, 4, 9);
+        let sets: Vec<std::collections::HashSet<u64>> = w
+            .queries
+            .iter()
+            .map(|(q, _)| w.index.candidates(q).into_iter().collect())
+            .collect();
+        for i in 0..sets.len() {
+            for j in i + 1..sets.len() {
+                let inter = sets[i].intersection(&sets[j]).count();
+                let min = sets[i].len().min(sets[j].len()).max(1);
+                assert!(
+                    inter * 2 < min.max(2),
+                    "queries {i} and {j} overlap too much"
+                );
+            }
+        }
+    }
+}

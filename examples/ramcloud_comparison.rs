@@ -1,0 +1,49 @@
+//! The RAM-cloud cliff and the cost/power argument (the paper's framing
+//! experiment: Figures 16/17 plus Table 3's economics).
+//!
+//! Run with: `cargo run --example ramcloud_comparison`
+
+use bluedbm::core::baselines::{host_dram_nn_rate, ramcloud_nn_rate, Secondary};
+use bluedbm::core::{PowerModel, SystemConfig};
+
+fn main() {
+    let config = SystemConfig::paper();
+
+    println!("nearest-neighbor throughput at 8 host threads (K comparisons/s):");
+    let dram = host_dram_nn_rate(&config, 8);
+    println!("  all data in DRAM:          {:>8.1}", dram / 1e3);
+    for (label, frac, sec) in [
+        ("2% spills to flash", 0.02, Secondary::Ssd),
+        ("5% spills to flash", 0.05, Secondary::Ssd),
+        ("10% spills to flash", 0.10, Secondary::Ssd),
+        ("5% spills to disk", 0.05, Secondary::Disk),
+    ] {
+        let r = ramcloud_nn_rate(&config, 8, frac, sec);
+        println!(
+            "  {label:<26} {:>8.1}  ({:.0}x slower)",
+            r / 1e3,
+            dram / r
+        );
+    }
+    let isp = config.isp_nn_rate();
+    println!(
+        "  BlueDBM in-store:          {:>8.1}  (immune: the data already lives in flash)",
+        isp / 1e3
+    );
+
+    // The cliff is the paper's core argument: a RAM cloud only wins while
+    // *everything* fits. The moment a few percent spill, BlueDBM's
+    // flash-native design is faster AND far cheaper to power.
+    let power = PowerModel::paper();
+    for tb in [5u64, 10, 20] {
+        let dataset = tb << 40;
+        let blue = power.bluedbm_watts(dataset);
+        let ram = power.ramcloud_watts(dataset);
+        println!(
+            "{tb:>3} TB dataset: BlueDBM {:>5.1} kW vs RAM cloud {:>5.1} kW ({:.1}x)",
+            blue / 1e3,
+            ram / 1e3,
+            ram / blue
+        );
+    }
+}
