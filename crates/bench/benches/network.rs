@@ -1,55 +1,19 @@
-//! Criterion microbenchmarks of the DES itself: how many simulated
-//! events per second the engine, router network and flash controller
-//! sustain (the simulator's wall-clock efficiency).
+//! Criterion microbenchmarks of the DES under network and cluster load:
+//! how many simulated packets/reads per second the router network and
+//! full cluster sustain (the raw kernel head-to-head against the boxed
+//! baseline lives in `sim_throughput.rs`).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
 use bluedbm_core::node::Consume;
 use bluedbm_core::{Cluster, NodeId, SystemConfig};
+use bluedbm_net::msg::NetMsg;
 use bluedbm_net::packet::NetParams;
 use bluedbm_net::router::{build_network, NetSend};
 use bluedbm_net::topology::Topology;
 use bluedbm_sim::engine::Simulator;
 use bluedbm_sim::time::SimTime;
-
-fn bench_event_queue(c: &mut Criterion) {
-    use bluedbm_sim::engine::{Component, Ctx};
-    use std::any::Any;
-
-    struct Bouncer {
-        remaining: u64,
-    }
-    struct Tick;
-    impl Component for Bouncer {
-        fn handle(&mut self, ctx: &mut Ctx<'_>, _msg: Box<dyn Any>) {
-            if self.remaining > 0 {
-                self.remaining -= 1;
-                ctx.send_self(SimTime::ns(10), Tick);
-            }
-        }
-    }
-
-    const EVENTS: u64 = 100_000;
-    let mut g = c.benchmark_group("des_engine");
-    g.throughput(Throughput::Elements(EVENTS));
-    g.bench_function("self_message_chain", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = Simulator::new();
-                let id = sim.add_component(Bouncer { remaining: EVENTS });
-                sim.schedule(SimTime::ZERO, id, Tick);
-                sim
-            },
-            |mut sim| {
-                sim.run();
-                black_box(sim.events_delivered())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
 
 fn bench_router_mesh(c: &mut Criterion) {
     const PACKETS: usize = 500;
@@ -58,7 +22,7 @@ fn bench_router_mesh(c: &mut Criterion) {
     g.bench_function("mesh3x3_500_packets", |b| {
         b.iter_batched(
             || {
-                let mut sim = Simulator::new();
+                let mut sim = Simulator::<NetMsg<()>>::new();
                 let topo = Topology::mesh2d(3, 3);
                 let routers = build_network(&mut sim, &topo, NetParams::paper());
                 for i in 0..PACKETS {
@@ -110,6 +74,6 @@ criterion_group!{
     // Short sampling: these are smoke-level performance numbers, and the
     // full suite must run in CI time.
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_event_queue, bench_router_mesh, bench_cluster_reads
+    targets = bench_router_mesh, bench_cluster_reads
 }
 criterion_main!(benches);

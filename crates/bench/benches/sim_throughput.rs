@@ -1,0 +1,427 @@
+//! End-to-end event-kernel throughput: simulated events per second of
+//! wall-clock, for the typed slab/index-heap kernel that now powers every
+//! exhibit — measured head-to-head against the seed's `Box<dyn Any>` +
+//! `BinaryHeap` kernel (kept below as an in-tree baseline) on identical
+//! workloads, plus a fig13-sized cluster read stream through the full
+//! node/network/flash stack.
+//!
+//! The acceptance bar for the typed-kernel refactor is >=2x events/sec
+//! over the boxed baseline on the same-instant fast-path chains (the
+//! dominant pattern in the command-forwarding hot path); heap-bound and
+//! scatter workloads win by smaller margins.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use bluedbm_core::node::Consume;
+use bluedbm_core::{Cluster, NodeId, SystemConfig};
+use bluedbm_sim::engine::{Component, Ctx, Simulator};
+use bluedbm_sim::time::SimTime;
+
+const CHAIN_EVENTS: u64 = 100_000;
+const SCATTER_EVENTS: u64 = 20_000;
+
+// ---------------------------------------------------------------------------
+// The pre-refactor kernel, preserved verbatim in miniature: one heap-boxed
+// `dyn Any` message per event, downcast on delivery, `BinaryHeap` ordered
+// by an inverted (time, seq) key. This is what the seed's `engine.rs` did.
+// ---------------------------------------------------------------------------
+mod boxed {
+    use bluedbm_sim::time::SimTime;
+    use std::any::Any;
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(Clone, Copy)]
+    pub struct ComponentId(pub usize);
+
+    pub trait Component: Any {
+        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>);
+    }
+
+    struct Scheduled {
+        at: SimTime,
+        seq: u64,
+        to: ComponentId,
+        msg: Box<dyn Any>,
+    }
+
+    impl PartialEq for Scheduled {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl Eq for Scheduled {}
+    impl PartialOrd for Scheduled {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Scheduled {
+        fn cmp(&self, other: &Self) -> Ordering {
+            (other.at, other.seq).cmp(&(self.at, self.seq))
+        }
+    }
+
+    pub struct Ctx<'a> {
+        now: SimTime,
+        self_id: ComponentId,
+        outbox: &'a mut Vec<(SimTime, ComponentId, Box<dyn Any>)>,
+    }
+
+    impl Ctx<'_> {
+        pub fn send_self<M: Any>(&mut self, delay: SimTime, msg: M) {
+            self.outbox
+                .push((self.now + delay, self.self_id, Box::new(msg)));
+        }
+    }
+
+    pub struct Simulator {
+        now: SimTime,
+        seq: u64,
+        delivered: u64,
+        heap: BinaryHeap<Scheduled>,
+        components: Vec<Option<Box<dyn Component>>>,
+        outbox: Vec<(SimTime, ComponentId, Box<dyn Any>)>,
+    }
+
+    impl Simulator {
+        pub fn new() -> Self {
+            Simulator {
+                now: SimTime::ZERO,
+                seq: 0,
+                delivered: 0,
+                heap: BinaryHeap::new(),
+                components: Vec::new(),
+                outbox: Vec::new(),
+            }
+        }
+
+        pub fn events_delivered(&self) -> u64 {
+            self.delivered
+        }
+
+        pub fn add_component<C: Component>(&mut self, component: C) -> ComponentId {
+            let id = ComponentId(self.components.len());
+            self.components.push(Some(Box::new(component)));
+            id
+        }
+
+        pub fn schedule<M: Any>(&mut self, delay: SimTime, to: ComponentId, msg: M) {
+            self.heap.push(Scheduled {
+                at: self.now + delay,
+                seq: self.seq,
+                to,
+                msg: Box::new(msg),
+            });
+            self.seq += 1;
+        }
+
+        pub fn run(&mut self) {
+            while let Some(ev) = self.heap.pop() {
+                self.now = ev.at;
+                self.delivered += 1;
+                let mut component = self.components[ev.to.0].take().expect("installed");
+                {
+                    let mut ctx = Ctx {
+                        now: self.now,
+                        self_id: ev.to,
+                        outbox: &mut self.outbox,
+                    };
+                    component.handle(&mut ctx, ev.msg);
+                }
+                self.components[ev.to.0] = Some(component);
+                for (at, to, msg) in self.outbox.drain(..) {
+                    self.heap.push(Scheduled {
+                        at,
+                        seq: self.seq,
+                        to,
+                        msg,
+                    });
+                    self.seq += 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Identical workloads on both kernels.
+// ---------------------------------------------------------------------------
+
+/// Zero-payload message: isolates pure event-delivery overhead (queue
+/// mechanics, dispatch, clock) with no payload-transport cost on either
+/// kernel.
+struct Tick;
+
+/// Payload in the size class of the real protocol messages (a `CtrlCmd`
+/// or `CtrlResp` is several machine words, and every hot-path event in
+/// the full system carries one): the boxed kernel pays one allocation +
+/// pointer chase per event for it, the typed kernel moves it inline.
+struct Cmd([u64; 8]);
+
+struct TypedTickBouncer {
+    remaining: u64,
+    delay: SimTime,
+}
+
+impl Component<Tick> for TypedTickBouncer {
+    fn handle(&mut self, ctx: &mut Ctx<'_, Tick>, _msg: Tick) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_self(self.delay, Tick);
+        }
+    }
+}
+
+struct BoxedTickBouncer {
+    remaining: u64,
+    delay: SimTime,
+}
+
+impl boxed::Component for BoxedTickBouncer {
+    fn handle(&mut self, ctx: &mut boxed::Ctx<'_>, _msg: Box<dyn std::any::Any>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_self(self.delay, Tick);
+        }
+    }
+}
+
+struct TypedBouncer {
+    remaining: u64,
+    delay: SimTime,
+}
+
+impl Component<Cmd> for TypedBouncer {
+    fn handle(&mut self, ctx: &mut Ctx<'_, Cmd>, msg: Cmd) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_self(self.delay, Cmd([msg.0[0] + 1; 8]));
+        }
+    }
+}
+
+struct BoxedBouncer {
+    remaining: u64,
+    delay: SimTime,
+}
+
+impl boxed::Component for BoxedBouncer {
+    fn handle(&mut self, ctx: &mut boxed::Ctx<'_>, msg: Box<dyn std::any::Any>) {
+        let cmd = msg.downcast::<Cmd>().expect("Cmd");
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send_self(self.delay, Cmd([cmd.0[0] + 1; 8]));
+        }
+    }
+}
+
+/// Sink that consumes scattered commands (heap scaling under load).
+struct TypedSink {
+    seen: u64,
+}
+
+impl Component<Cmd> for TypedSink {
+    fn handle(&mut self, _ctx: &mut Ctx<'_, Cmd>, msg: Cmd) {
+        self.seen += msg.0[0];
+    }
+}
+
+struct BoxedSink {
+    seen: u64,
+}
+
+impl boxed::Component for BoxedSink {
+    fn handle(&mut self, _ctx: &mut boxed::Ctx<'_>, msg: Box<dyn std::any::Any>) {
+        let cmd = msg.downcast::<Cmd>().expect("Cmd");
+        self.seen += cmd.0[0];
+    }
+}
+
+fn pseudo_delays(n: u64) -> impl Iterator<Item = SimTime> {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    (0..n).map(move |_| {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        SimTime::ns(x % 100_000)
+    })
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_kernel");
+    g.throughput(Throughput::Elements(CHAIN_EVENTS));
+
+    // Pure delivery overhead: zero-sized messages.
+    for (name, delay) in [
+        ("tick_chain_10ns", SimTime::ns(10)),
+        ("tick_chain_zero_delay", SimTime::ZERO),
+    ] {
+        g.bench_function(&format!("typed/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulator::new();
+                    let id = sim.add_component(TypedTickBouncer {
+                        remaining: CHAIN_EVENTS,
+                        delay,
+                    });
+                    sim.schedule(SimTime::ZERO, id, Tick);
+                    sim
+                },
+                |mut sim| {
+                    sim.run();
+                    black_box(sim.events_delivered())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(&format!("boxed/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = boxed::Simulator::new();
+                    let id = sim.add_component(BoxedTickBouncer {
+                        remaining: CHAIN_EVENTS,
+                        delay,
+                    });
+                    sim.schedule(SimTime::ZERO, id, Tick);
+                    sim
+                },
+                |mut sim| {
+                    sim.run();
+                    black_box(sim.events_delivered())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Payload transport: command-sized messages.
+    for (name, delay) in [
+        ("cmd_chain_10ns", SimTime::ns(10)),
+        ("cmd_chain_zero_delay", SimTime::ZERO),
+    ] {
+        g.bench_function(&format!("typed/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = Simulator::new();
+                    let id = sim.add_component(TypedBouncer {
+                        remaining: CHAIN_EVENTS,
+                        delay,
+                    });
+                    sim.schedule(SimTime::ZERO, id, Cmd([0; 8]));
+                    sim
+                },
+                |mut sim| {
+                    sim.run();
+                    black_box(sim.events_delivered())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function(&format!("boxed/{name}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = boxed::Simulator::new();
+                    let id = sim.add_component(BoxedBouncer {
+                        remaining: CHAIN_EVENTS,
+                        delay,
+                    });
+                    sim.schedule(SimTime::ZERO, id, Cmd([0; 8]));
+                    sim
+                },
+                |mut sim| {
+                    sim.run();
+                    black_box(sim.events_delivered())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("des_kernel_scatter");
+    g.throughput(Throughput::Elements(SCATTER_EVENTS));
+    g.bench_function("typed/scatter_20k", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulator::with_capacity(SCATTER_EVENTS as usize);
+                let id = sim.add_component(TypedSink { seen: 0 });
+                for (i, d) in pseudo_delays(SCATTER_EVENTS).enumerate() {
+                    sim.schedule(d, id, Cmd([i as u64; 8]));
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                black_box(sim.events_delivered())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("boxed/scatter_20k", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = boxed::Simulator::new();
+                let id = sim.add_component(BoxedSink { seen: 0 });
+                for (i, d) in pseudo_delays(SCATTER_EVENTS).enumerate() {
+                    sim.schedule(d, id, Cmd([i as u64; 8]));
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                black_box(sim.events_delivered())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// The fig13 shape: a stream of remote ISP reads between two paper-config
+/// nodes over one lane — the whole flash + splitter + agent + router +
+/// PCIe message plumbing, reported as simulated events per second.
+fn bench_cluster_events(c: &mut Criterion) {
+    const READS: usize = 300;
+    // Count the events one run generates so throughput is in events, not
+    // reads.
+    let events_per_run = {
+        let (mut cluster, addrs) = fig13_setup(READS);
+        let before = cluster.sim_mut().events_delivered();
+        cluster.stream_reads(NodeId(0), &addrs, Consume::Isp);
+        cluster.sim_mut().events_delivered() - before
+    };
+    let mut g = c.benchmark_group("sim_throughput");
+    g.throughput(Throughput::Elements(events_per_run));
+    g.bench_function("fig13_remote_stream_events", |b| {
+        b.iter_batched(
+            || fig13_setup(READS),
+            |(mut cluster, addrs)| {
+                let done = cluster.stream_reads(NodeId(0), &addrs, Consume::Isp);
+                black_box(done.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn fig13_setup(reads: usize) -> (Cluster, Vec<bluedbm_core::GlobalPageAddr>) {
+    let config = SystemConfig::paper();
+    let mut cluster = Cluster::line(2, 1, &config).unwrap();
+    let page = vec![0u8; config.flash.geometry.page_bytes];
+    let addrs: Vec<_> = (0..reads)
+        .map(|_| cluster.preload_page(NodeId(1), &page).unwrap())
+        .collect();
+    (cluster, addrs)
+}
+
+criterion_group! {
+    name = benches;
+    // Short sampling: these are smoke-level performance numbers, and the
+    // full suite must run in CI time.
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels, bench_cluster_events
+}
+criterion_main!(benches);

@@ -178,7 +178,7 @@ mod tests {
         let sw_t = host_sw_scan_rate(&c, 0.25, 8);
         let advantage = isp_t / sw_t;
         assert!(
-            advantage >= 1.18 && advantage < 1.4,
+            (1.18..1.4).contains(&advantage),
             "throttled advantage {advantage}"
         );
         // Unthrottled: PCIe (1.6 GB/s) caps software while the ISP runs

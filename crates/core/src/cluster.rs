@@ -21,6 +21,7 @@ use bluedbm_sim::engine::{ComponentId, Simulator};
 use bluedbm_sim::time::SimTime;
 
 use crate::config::SystemConfig;
+use crate::msg::{Msg, NetBody};
 use crate::node::{AgentOp, Completed, Consume, NodeAgent, DATA_ENDPOINTS, REQUEST_ENDPOINT};
 
 pub use crate::node::GlobalPageAddr;
@@ -75,7 +76,7 @@ pub struct CompletedRead {
 /// A DES world of BlueDBM nodes. See the
 /// [crate-level documentation](crate) for an example.
 pub struct Cluster {
-    sim: Simulator,
+    sim: Simulator<Msg>,
     config: SystemConfig,
     topo: Topology,
     routers: Vec<ComponentId>,
@@ -102,13 +103,13 @@ impl Cluster {
         let mut agents = Vec::with_capacity(n);
         let mut pcie = Vec::with_capacity(n);
         let mut controllers = Vec::with_capacity(n);
-        for node in 0..n {
+        for (node, &node_router) in routers.iter().enumerate() {
             let mut node_ctrls = Vec::new();
             let mut node_splitters = Vec::new();
             for card in 0..config.flash.cards_per_node {
                 let array = FlashArray::new(
                     config.flash.geometry,
-                    0xB1DE + (node as u64) << 8 | card as u64,
+                    ((0xB1DE + (node as u64)) << 8) | card as u64,
                 );
                 let ctrl = sim.add_component(FlashController::new(array, config.flash.timing));
                 let split = sim.add_component(FlashSplitter::new(
@@ -121,14 +122,14 @@ impl Cluster {
             let link = sim.add_component(PcieLink::new(config.pcie));
             let agent = sim.add_component(NodeAgent::new(
                 NodeId::from(node),
-                routers[node],
+                node_router,
                 link,
                 node_splitters,
                 config.flash.geometry.page_bytes,
                 config.host.dram_latency,
             ));
             let router = sim
-                .component_mut::<Router>(routers[node])
+                .component_mut::<Router<NetBody>>(node_router)
                 .expect("router installed");
             router.register_endpoint(REQUEST_ENDPOINT, agent);
             for ep in 1..=DATA_ENDPOINTS {
@@ -158,7 +159,7 @@ impl Cluster {
     ///
     /// As for [`Cluster::new`].
     pub fn ring(n: usize, config: &SystemConfig) -> Result<Self, ClusterError> {
-        let lanes = if n == 2 { 4 } else { 4.min(8 / 2) };
+        let lanes = 4;
         Self::new(Topology::ring(n, lanes), config)
     }
 
@@ -467,7 +468,7 @@ impl Cluster {
     /// Router statistics for `node`.
     pub fn router_stats(&self, node: NodeId) -> RouterStats {
         self.sim
-            .component::<Router>(self.routers[node.index()])
+            .component::<Router<NetBody>>(self.routers[node.index()])
             .expect("router installed")
             .stats()
             .clone()
@@ -489,7 +490,7 @@ impl Cluster {
     }
 
     /// Direct simulator access for advanced experiment drivers.
-    pub fn sim_mut(&mut self) -> &mut Simulator {
+    pub fn sim_mut(&mut self) -> &mut Simulator<Msg> {
         &mut self.sim
     }
 }

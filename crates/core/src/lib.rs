@@ -40,12 +40,14 @@ pub mod baselines;
 pub mod cluster;
 pub mod config;
 pub mod kvstore;
+pub mod msg;
 pub mod node;
 pub mod paths;
 pub mod power;
 pub mod scheduler;
 
 pub use cluster::{Cluster, CompletedRead, GlobalPageAddr};
+pub use msg::{Msg, NetBody, PageData};
 pub use config::SystemConfig;
 pub use kvstore::KvStore;
 pub use paths::{AccessPath, LatencyBreakdown};

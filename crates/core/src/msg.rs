@@ -1,0 +1,139 @@
+//! The workspace-wide concrete message type.
+//!
+//! [`Msg`] composes every subsystem protocol a full BlueDBM node speaks —
+//! flash commands, network packets (whose bodies are the remote-operation
+//! types in [`NetBody`]), PCIe transfers carrying page data, and the
+//! node-agent operations — into one enum that instantiates the typed
+//! [`bluedbm_sim::Simulator`]. Payloads travel inline end to end: a page
+//! read off a simulated flash chip moves through the controller, the
+//! splitter, the network and the PCIe link without a single heap-boxed
+//! message or downcast.
+//!
+//! To add a new message kind, see the "Adding a new message variant"
+//! checklist in the `bluedbm_sim` crate docs.
+
+use bluedbm_flash::controller::CtrlCmd;
+use bluedbm_flash::msg::{FlashMsg, FlashProtocol};
+use bluedbm_host::msg::{HostMsg, HostProtocol};
+use bluedbm_host::pcie::PcieXfer;
+use bluedbm_net::msg::{NetMsg, NetProtocol};
+use bluedbm_net::router::NetSend;
+
+use crate::node::{AgentOp, DramServed, RemoteReq, RemoteResp};
+
+/// Functional payload of a storage-network packet in the full system.
+#[derive(Debug)]
+pub enum NetBody {
+    /// A remote flash/DRAM request travelling to the owning node.
+    Req(RemoteReq),
+    /// The response travelling back to the requesting node.
+    Resp(RemoteResp),
+}
+
+/// Page data carried across the PCIe link.
+pub type PageData = Vec<u8>;
+
+/// The concrete message type of full-system simulations.
+#[derive(Debug)]
+pub enum Msg {
+    /// Flash-stack traffic (commands, completions, server requests).
+    Flash(FlashMsg),
+    /// Storage-network traffic with [`NetBody`] packet bodies.
+    Net(NetMsg<NetBody>),
+    /// PCIe/DMA traffic carrying page data.
+    Host(HostMsg<PageData>),
+    /// Driver operation addressed to a node agent.
+    Op(AgentOp),
+    /// Node-agent internal: delayed DRAM-buffer reply.
+    Dram(DramServed),
+}
+
+impl From<FlashMsg> for Msg {
+    #[inline]
+    fn from(m: FlashMsg) -> Self {
+        Msg::Flash(m)
+    }
+}
+
+impl From<NetMsg<NetBody>> for Msg {
+    #[inline]
+    fn from(m: NetMsg<NetBody>) -> Self {
+        Msg::Net(m)
+    }
+}
+
+impl From<HostMsg<PageData>> for Msg {
+    #[inline]
+    fn from(m: HostMsg<PageData>) -> Self {
+        Msg::Host(m)
+    }
+}
+
+impl From<AgentOp> for Msg {
+    #[inline]
+    fn from(m: AgentOp) -> Self {
+        Msg::Op(m)
+    }
+}
+
+impl From<DramServed> for Msg {
+    #[inline]
+    fn from(m: DramServed) -> Self {
+        Msg::Dram(m)
+    }
+}
+
+impl From<CtrlCmd> for Msg {
+    #[inline]
+    fn from(m: CtrlCmd) -> Self {
+        Msg::Flash(FlashMsg::Cmd(m))
+    }
+}
+
+impl From<NetSend<NetBody>> for Msg {
+    #[inline]
+    fn from(m: NetSend<NetBody>) -> Self {
+        Msg::Net(NetMsg::Send(m))
+    }
+}
+
+impl From<PcieXfer<PageData>> for Msg {
+    #[inline]
+    fn from(m: PcieXfer<PageData>) -> Self {
+        Msg::Host(HostMsg::Xfer(m))
+    }
+}
+
+impl FlashProtocol for Msg {
+    #[inline]
+    fn into_flash(self) -> FlashMsg {
+        match self {
+            Msg::Flash(m) => m,
+            other => panic!("flash component received a non-flash message: {other:?}"),
+        }
+    }
+}
+
+impl NetProtocol for Msg {
+    type Body = NetBody;
+
+    #[inline]
+    fn into_net(self) -> NetMsg<NetBody> {
+        match self {
+            Msg::Net(m) => m,
+            other => panic!("network component received a non-network message: {other:?}"),
+        }
+    }
+}
+
+impl HostProtocol for Msg {
+    type Body = PageData;
+
+    #[inline]
+    fn into_host(self) -> HostMsg<PageData> {
+        match self {
+            Msg::Host(m) => m,
+            other => panic!("host component received a non-host message: {other:?}"),
+        }
+    }
+}

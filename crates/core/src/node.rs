@@ -8,17 +8,21 @@
 //! remote requests over the integrated network, stages host-bound data
 //! through the PCIe link, and answers remote DRAM-buffer reads.
 
-use std::any::Any;
 use std::collections::HashMap;
 
 use bluedbm_flash::controller::{CtrlCmd, CtrlResp, Tag};
 use bluedbm_flash::error::FlashError;
 use bluedbm_flash::geometry::Ppa;
-use bluedbm_host::pcie::{Direction, PcieDone, PcieXfer};
+use bluedbm_flash::msg::FlashMsg;
+use bluedbm_host::msg::HostMsg;
+use bluedbm_host::pcie::{Direction, PcieXfer};
+use bluedbm_net::msg::NetMsg;
 use bluedbm_net::router::{NetRecv, NetSend};
 use bluedbm_net::topology::NodeId;
 use bluedbm_sim::engine::{Component, ComponentId, Ctx};
 use bluedbm_sim::time::SimTime;
+
+use crate::msg::{Msg, NetBody};
 
 /// Endpoint used for remote request messages.
 pub const REQUEST_ENDPOINT: u16 = 0;
@@ -109,9 +113,10 @@ pub struct Completed {
     pub end: SimTime,
 }
 
-/// Remote request carried over the storage network.
+/// Remote request carried over the storage network. Public only because
+/// it rides [`crate::msg::NetBody`]; agents construct and consume it.
 #[derive(Debug)]
-struct RemoteReq {
+pub struct RemoteReq {
     req_id: u64,
     origin: NodeId,
     reply_ep: u16,
@@ -124,18 +129,20 @@ enum RemoteKind {
     Dram(u64),
 }
 
-/// Remote response carried over the storage network.
+/// Remote response carried over the storage network. Public only because
+/// it rides [`crate::msg::NetBody`].
 #[derive(Debug)]
-struct RemoteResp {
+pub struct RemoteResp {
     req_id: u64,
     addr: Option<GlobalPageAddr>,
     data: Result<Vec<u8>, FlashError>,
 }
 
 /// Delayed local DRAM reply (models the DRAM access latency of a
-/// remote-DRAM request being serviced).
+/// remote-DRAM request being serviced). Public only because it rides
+/// [`crate::msg::Msg`] as an agent self-send.
 #[derive(Debug)]
-struct DramServed {
+pub struct DramServed {
     origin: NodeId,
     reply_ep: u16,
     resp: RemoteResp,
@@ -247,7 +254,7 @@ impl NodeAgent {
         }
     }
 
-    fn issue_local_read(&mut self, ctx: &mut Ctx<'_>, addr: GlobalPageAddr, dest: FlashDest) {
+    fn issue_local_read(&mut self, ctx: &mut Ctx<'_, Msg>, addr: GlobalPageAddr, dest: FlashDest) {
         let tag = self.alloc_tag();
         self.flash_pending.insert(tag, dest);
         let me = ctx.self_id();
@@ -288,7 +295,7 @@ impl NodeAgent {
     /// the PCIe crossing first.
     fn consume_read(
         &mut self,
-        ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_, Msg>,
         op_id: u64,
         addr: Option<GlobalPageAddr>,
         consume: Consume,
@@ -312,7 +319,7 @@ impl NodeAgent {
         }
     }
 
-    fn handle_op(&mut self, ctx: &mut Ctx<'_>, op: AgentOp) {
+    fn handle_op(&mut self, ctx: &mut Ctx<'_, Msg>, op: AgentOp) {
         match op {
             AgentOp::ReadFlash {
                 op_id,
@@ -351,12 +358,12 @@ impl NodeAgent {
                             addr.node,
                             REQUEST_ENDPOINT,
                             REQUEST_BYTES,
-                            RemoteReq {
+                            NetBody::Req(RemoteReq {
                                 req_id,
                                 origin: self.node,
                                 reply_ep,
                                 kind: RemoteKind::Flash(addr),
-                            },
+                            }),
                         ),
                     );
                 }
@@ -413,19 +420,19 @@ impl NodeAgent {
                         node,
                         REQUEST_ENDPOINT,
                         REQUEST_BYTES,
-                        RemoteReq {
+                        NetBody::Req(RemoteReq {
                             req_id,
                             origin: self.node,
                             reply_ep,
                             kind: RemoteKind::Dram(key),
-                        },
+                        }),
                     ),
                 );
             }
         }
     }
 
-    fn handle_ctrl_resp(&mut self, ctx: &mut Ctx<'_>, resp: CtrlResp) {
+    fn handle_ctrl_resp(&mut self, ctx: &mut Ctx<'_, Msg>, resp: CtrlResp) {
         let tag = resp.tag().0;
         let dest = self
             .flash_pending
@@ -465,11 +472,11 @@ impl NodeAgent {
                         origin,
                         reply_ep,
                         bytes,
-                        RemoteResp {
+                        NetBody::Resp(RemoteResp {
                             req_id,
                             addr: Some(addr),
                             data,
-                        },
+                        }),
                     ),
                 );
             }
@@ -477,10 +484,9 @@ impl NodeAgent {
         }
     }
 
-    fn handle_net(&mut self, ctx: &mut Ctx<'_>, recv: NetRecv) {
-        let body = match recv.body.downcast::<RemoteReq>() {
-            Ok(req) => {
-                let req = *req;
+    fn handle_net(&mut self, ctx: &mut Ctx<'_, Msg>, recv: NetRecv<NetBody>) {
+        let resp = match recv.body {
+            NetBody::Req(req) => {
                 match req.kind {
                     RemoteKind::Flash(addr) => {
                         debug_assert_eq!(addr.node, self.node);
@@ -520,12 +526,8 @@ impl NodeAgent {
                 }
                 return;
             }
-            Err(body) => body,
+            NetBody::Resp(resp) => resp,
         };
-        let resp = body
-            .downcast::<RemoteResp>()
-            .expect("node agent got an unexpected network body");
-        let resp = *resp;
         let pending = self
             .net_pending
             .remove(&resp.req_id)
@@ -541,44 +543,33 @@ impl NodeAgent {
     }
 }
 
-impl Component for NodeAgent {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-        let msg = match msg.downcast::<AgentOp>() {
-            Ok(op) => return self.handle_op(ctx, *op),
-            Err(m) => m,
-        };
-        let msg = match msg.downcast::<CtrlResp>() {
-            Ok(resp) => return self.handle_ctrl_resp(ctx, *resp),
-            Err(m) => m,
-        };
-        let msg = match msg.downcast::<NetRecv>() {
-            Ok(recv) => return self.handle_net(ctx, *recv),
-            Err(m) => m,
-        };
-        let msg = match msg.downcast::<DramServed>() {
-            Ok(served) => {
-                let served = *served;
+impl Component<Msg> for NodeAgent {
+    fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+        match msg {
+            Msg::Op(op) => self.handle_op(ctx, op),
+            Msg::Flash(FlashMsg::Resp(resp)) => self.handle_ctrl_resp(ctx, resp),
+            Msg::Net(NetMsg::Recv(recv)) => self.handle_net(ctx, recv),
+            Msg::Dram(served) => {
                 ctx.send(
                     self.router,
                     SimTime::ZERO,
-                    NetSend::new(served.origin, served.reply_ep, served.bytes, served.resp),
+                    NetSend::new(
+                        served.origin,
+                        served.reply_ep,
+                        served.bytes,
+                        NetBody::Resp(served.resp),
+                    ),
                 );
-                return;
             }
-            Err(m) => m,
-        };
-        let done = msg
-            .downcast::<PcieDone>()
-            .expect("node agent got an unexpected message type");
-        let (op_id, addr, start) = self
-            .pcie_pending
-            .remove(&done.token)
-            .expect("PCIe completion for an unknown token");
-        let data = *done
-            .body
-            .downcast::<Vec<u8>>()
-            .expect("page data rides the PCIe body");
-        self.complete(ctx.now(), op_id, addr, Ok(data), start);
+            Msg::Host(HostMsg::Done(done)) => {
+                let (op_id, addr, start) = self
+                    .pcie_pending
+                    .remove(&done.token)
+                    .expect("PCIe completion for an unknown token");
+                self.complete(ctx.now(), op_id, addr, Ok(done.body), start);
+            }
+            other => panic!("node agent got an unexpected message: {other:?}"),
+        }
     }
 }
 

@@ -88,6 +88,9 @@ pub struct ArrayStats {
     pub uncorrectable: u64,
 }
 
+/// A stored codeword: page data plus its OOB parity bytes.
+type StoredPage = (Box<[u8]>, Box<[u8]>);
+
 /// One flash card's worth of NAND.
 ///
 /// See the [crate-level documentation](crate) for an example.
@@ -95,7 +98,7 @@ pub struct ArrayStats {
 pub struct FlashArray {
     geometry: FlashGeometry,
     /// Stored codewords: page data + OOB parity, keyed by linear page id.
-    pages: HashMap<usize, (Box<[u8]>, Box<[u8]>)>,
+    pages: HashMap<usize, StoredPage>,
     /// Per-block wear/bad/programmed state, keyed by linear block id.
     blocks: Vec<BlockState>,
     rng: Rng,

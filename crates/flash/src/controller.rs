@@ -14,7 +14,6 @@
 //! and per-bus (transfers serialize on a channel), which is where the
 //! paper's 1.2 GB/s-per-card ceiling comes from: 8 buses x 150 MB/s.
 
-use std::any::Any;
 use std::collections::VecDeque;
 
 use bluedbm_sim::engine::{Component, ComponentId, Ctx};
@@ -25,6 +24,7 @@ use bluedbm_sim::time::SimTime;
 use crate::array::{FlashArray, ReadResult};
 use crate::error::FlashError;
 use crate::geometry::Ppa;
+use crate::msg::{FlashMsg, FlashProtocol};
 use crate::timing::FlashTiming;
 
 /// Identifies one in-flight command (the paper's request tag).
@@ -124,8 +124,11 @@ impl CtrlResp {
     }
 }
 
-/// Internal: a completion scheduled for the future.
-struct Finish {
+/// Controller-internal delayed completion. Public only because it rides
+/// the [`FlashMsg`] enum as a self-send; nothing outside the controller
+/// constructs or inspects one.
+#[derive(Debug)]
+pub struct Finish {
     resp: CtrlResp,
     reply_to: ComponentId,
 }
@@ -343,37 +346,35 @@ impl FlashController {
         }
     }
 
-    fn issue(&mut self, ctx: &mut Ctx<'_>, cmd: CtrlCmd) {
+    fn issue<M: FlashProtocol>(&mut self, ctx: &mut Ctx<'_, M>, cmd: CtrlCmd) {
         self.in_flight += 1;
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
         let (done, finish) = self.execute(ctx.now(), cmd);
-        ctx.send_self(done - ctx.now(), finish);
+        ctx.send_self(done - ctx.now(), FlashMsg::Finish(finish));
     }
 }
 
-impl Component for FlashController {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-        match msg.downcast::<CtrlCmd>() {
-            Ok(cmd) => {
+impl<M: FlashProtocol> Component<M> for FlashController {
+    fn handle(&mut self, ctx: &mut Ctx<'_, M>, msg: M) {
+        match msg.into_flash() {
+            FlashMsg::Cmd(cmd) => {
                 if self.in_flight >= self.tag_limit {
                     self.stats.tag_stalls += 1;
-                    self.pending.push_back(*cmd);
+                    self.pending.push_back(cmd);
                 } else {
-                    self.issue(ctx, *cmd);
+                    self.issue(ctx, cmd);
                 }
             }
-            Err(msg) => {
-                let finish = msg
-                    .downcast::<Finish>()
-                    .expect("flash controller got an unexpected message type");
+            FlashMsg::Finish(Finish { resp, reply_to }) => {
                 self.in_flight -= 1;
-                ctx.send_boxed(finish.reply_to, SimTime::ZERO, Box::new(finish.resp));
+                ctx.send(reply_to, SimTime::ZERO, FlashMsg::Resp(resp));
                 if self.in_flight < self.tag_limit {
                     if let Some(next) = self.pending.pop_front() {
                         self.issue(ctx, next);
                     }
                 }
             }
+            other => panic!("flash controller got an unexpected message: {other:?}"),
         }
     }
 }
@@ -403,9 +404,12 @@ mod tests {
         }
     }
 
-    impl Component for Client {
-        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-            match *msg.downcast::<CtrlResp>().expect("CtrlResp expected") {
+    impl Component<FlashMsg> for Client {
+        fn handle(&mut self, ctx: &mut Ctx<'_, FlashMsg>, msg: FlashMsg) {
+            let FlashMsg::Resp(resp) = msg else {
+                panic!("CtrlResp expected")
+            };
+            match resp {
                 CtrlResp::ReadDone { tag, result, .. } => match result {
                     Ok(r) => self.reads.push((tag, r.data, ctx.now())),
                     Err(e) => self.errors.push((tag, e)),
@@ -422,7 +426,7 @@ mod tests {
         }
     }
 
-    fn setup(timing: FlashTiming) -> (Simulator, ComponentId, ComponentId) {
+    fn setup(timing: FlashTiming) -> (Simulator<FlashMsg>, ComponentId, ComponentId) {
         let mut sim = Simulator::new();
         let array = FlashArray::new(FlashGeometry::tiny(), 5);
         let ctrl = sim.add_component(FlashController::new(array, timing));

@@ -121,7 +121,7 @@ pub fn decode(data: u64, parity: u8) -> Decoded {
     syndrome ^= stored_parity7;
 
     let total_ones = data_ones + stored_parity7.count_ones() + stored_overall as u32;
-    let overall_ok = total_ones % 2 == 0;
+    let overall_ok = total_ones.is_multiple_of(2);
 
     match (syndrome, overall_ok) {
         (0, true) => Decoded::Clean(data),
@@ -160,7 +160,7 @@ pub struct PageDecode {
 ///
 /// Panics if `page.len()` is not a multiple of 8.
 pub fn encode_page(page: &[u8]) -> Vec<u8> {
-    assert!(page.len() % 8 == 0, "page length must be a multiple of 8");
+    assert!(page.len().is_multiple_of(8), "page length must be a multiple of 8");
     page.chunks_exact(8)
         .map(|w| encode(u64::from_le_bytes(w.try_into().expect("chunk of 8"))))
         .collect()

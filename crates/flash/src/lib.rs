@@ -41,6 +41,7 @@
 
 pub mod array;
 pub mod controller;
+pub mod msg;
 pub mod ecc;
 pub mod error;
 pub mod geometry;
@@ -51,6 +52,7 @@ pub mod timing;
 pub use array::FlashArray;
 pub use controller::{CtrlCmd, CtrlResp, FlashController, Tag};
 pub use error::FlashError;
+pub use msg::{FlashMsg, FlashProtocol};
 pub use geometry::{FlashGeometry, Ppa};
 pub use server::FlashServer;
 pub use splitter::FlashSplitter;

@@ -9,7 +9,6 @@
 //! buffers" — each client component gets FIFO delivery of its responses,
 //! whatever order the flash returns them in.
 
-use std::any::Any;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use bluedbm_sim::engine::{Component, ComponentId, Ctx};
@@ -18,6 +17,7 @@ use bluedbm_sim::time::SimTime;
 use crate::controller::{CtrlCmd, CtrlResp, Tag};
 use crate::error::FlashError;
 use crate::geometry::Ppa;
+use crate::msg::{FlashMsg, FlashProtocol};
 
 /// Requests accepted by the [`FlashServer`].
 #[derive(Debug)]
@@ -139,7 +139,7 @@ impl FlashServer {
         self.stats
     }
 
-    fn accept(&mut self, ctx: &mut Ctx<'_>, client: ComponentId, ppa: Ppa) {
+    fn accept<M: FlashProtocol>(&mut self, ctx: &mut Ctx<'_, M>, client: ComponentId, ppa: Ppa) {
         let q = self.clients.entry(client).or_default();
         let seq = q.next_assign;
         q.next_assign += 1;
@@ -147,7 +147,13 @@ impl FlashServer {
         self.issue_or_wait(ctx, client, seq, ppa);
     }
 
-    fn accept_error(&mut self, ctx: &mut Ctx<'_>, client: ComponentId, ppa: Ppa, err: FlashError) {
+    fn accept_error<M: FlashProtocol>(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        client: ComponentId,
+        ppa: Ppa,
+        err: FlashError,
+    ) {
         let q = self.clients.entry(client).or_default();
         let seq = q.next_assign;
         q.next_assign += 1;
@@ -163,7 +169,13 @@ impl FlashServer {
         );
     }
 
-    fn issue_or_wait(&mut self, ctx: &mut Ctx<'_>, client: ComponentId, seq: u64, ppa: Ppa) {
+    fn issue_or_wait<M: FlashProtocol>(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        client: ComponentId,
+        seq: u64,
+        ppa: Ppa,
+    ) {
         let Some(tag) = self.free_tags.pop() else {
             self.stats.buffer_stalls += 1;
             self.waiting.push_back((client, seq, ppa));
@@ -174,15 +186,20 @@ impl FlashServer {
         ctx.send(
             self.backend,
             SimTime::ZERO,
-            CtrlCmd::Read {
+            FlashMsg::Cmd(CtrlCmd::Read {
                 tag: Tag(tag),
                 ppa,
                 reply_to: me,
-            },
+            }),
         );
     }
 
-    fn park_and_deliver(&mut self, ctx: &mut Ctx<'_>, client: ComponentId, resp: ServerResp) {
+    fn park_and_deliver<M: FlashProtocol>(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        client: ComponentId,
+        resp: ServerResp,
+    ) {
         let q = self.clients.entry(client).or_default();
         if resp.seq != q.next_deliver {
             self.stats.reordered += 1;
@@ -192,16 +209,16 @@ impl FlashServer {
         while let Some(r) = q.parked.remove(&q.next_deliver) {
             q.next_deliver += 1;
             self.stats.delivered += 1;
-            ctx.send(client, SimTime::ZERO, r);
+            ctx.send(client, SimTime::ZERO, FlashMsg::ServerResp(r));
         }
     }
 }
 
-impl Component for FlashServer {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-        let msg = match msg.downcast::<ServerReq>() {
-            Ok(req) => {
-                match *req {
+impl<M: FlashProtocol> Component<M> for FlashServer {
+    fn handle(&mut self, ctx: &mut Ctx<'_, M>, msg: M) {
+        let resp = match msg.into_flash() {
+            FlashMsg::ServerReq(req) => {
+                match req {
                     ServerReq::MapHandle { handle, extents } => {
                         self.map_handle(handle, extents);
                     }
@@ -235,13 +252,11 @@ impl Component for FlashServer {
                 }
                 return;
             }
-            Err(msg) => msg,
+            FlashMsg::Resp(resp) => resp,
+            other => panic!("flash server got an unexpected message: {other:?}"),
         };
 
-        let resp = msg
-            .downcast::<CtrlResp>()
-            .expect("flash server got an unexpected message type");
-        let CtrlResp::ReadDone { tag, result, .. } = *resp else {
+        let CtrlResp::ReadDone { tag, result, .. } = resp else {
             panic!("flash server only issues reads");
         };
         let fl = self
@@ -279,15 +294,17 @@ mod tests {
         pages: Vec<Result<Vec<u8>, FlashError>>,
     }
 
-    impl Component for Client {
-        fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-            let r = msg.downcast::<ServerResp>().expect("ServerResp");
+    impl Component<FlashMsg> for Client {
+        fn handle(&mut self, _ctx: &mut Ctx<'_, FlashMsg>, msg: FlashMsg) {
+            let FlashMsg::ServerResp(r) = msg else {
+                panic!("ServerResp expected")
+            };
             self.seqs.push(r.seq);
             self.pages.push(r.result);
         }
     }
 
-    fn world() -> (Simulator, ComponentId, ComponentId) {
+    fn world() -> (Simulator<FlashMsg>, ComponentId, ComponentId) {
         let mut sim = Simulator::new();
         let mut array = FlashArray::new(FlashGeometry::tiny(), 3);
         // Pages spread across chips so completions arrive out of order.
@@ -430,7 +447,7 @@ mod tests {
 
     #[test]
     fn buffer_exhaustion_stalls_but_completes() {
-        let mut sim = Simulator::new();
+        let mut sim = Simulator::<FlashMsg>::new();
         let mut array = FlashArray::new(FlashGeometry::tiny(), 3);
         let data = vec![9u8; FlashGeometry::tiny().page_bytes];
         for p in 0..10 {
@@ -461,7 +478,7 @@ mod tests {
 
     #[test]
     fn atu_introspection() {
-        let mut sim = Simulator::new();
+        let mut sim = Simulator::<FlashMsg>::new();
         let backend = sim.reserve();
         let mut server = FlashServer::new(backend, 4);
         server.map_handle(1, extent_list());

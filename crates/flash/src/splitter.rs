@@ -7,13 +7,13 @@
 //! space; the splitter maps (client, client-tag) onto a free controller
 //! tag on the way down and restores the client's tag on the way back up.
 
-use std::any::Any;
 use std::collections::VecDeque;
 
 use bluedbm_sim::engine::{Component, ComponentId, Ctx};
 use bluedbm_sim::time::SimTime;
 
 use crate::controller::{CtrlCmd, CtrlResp, Tag};
+use crate::msg::{FlashMsg, FlashProtocol};
 
 /// Per-rename bookkeeping.
 #[derive(Clone, Copy, Debug)]
@@ -74,7 +74,7 @@ impl FlashSplitter {
         self.renames.iter().filter(|r| r.is_some()).count()
     }
 
-    fn forward(&mut self, ctx: &mut Ctx<'_>, cmd: CtrlCmd) {
+    fn forward<M: FlashProtocol>(&mut self, ctx: &mut Ctx<'_, M>, cmd: CtrlCmd) {
         let Some(renamed) = self.free_tags.pop() else {
             self.stats.rename_stalls += 1;
             self.waiting.push_back(cmd);
@@ -104,10 +104,10 @@ impl FlashSplitter {
             },
         };
         self.stats.forwarded += 1;
-        ctx.send(self.controller, SimTime::ZERO, out);
+        ctx.send(self.controller, SimTime::ZERO, FlashMsg::Cmd(out));
     }
 
-    fn unrename(&mut self, ctx: &mut Ctx<'_>, resp: CtrlResp) {
+    fn unrename<M: FlashProtocol>(&mut self, ctx: &mut Ctx<'_, M>, resp: CtrlResp) {
         let renamed = resp.tag().0;
         let rename = self.renames[renamed as usize]
             .take()
@@ -131,23 +131,19 @@ impl FlashSplitter {
             },
         };
         self.stats.returned += 1;
-        ctx.send(rename.client, SimTime::ZERO, restored);
+        ctx.send(rename.client, SimTime::ZERO, FlashMsg::Resp(restored));
         if let Some(queued) = self.waiting.pop_front() {
             self.forward(ctx, queued);
         }
     }
 }
 
-impl Component for FlashSplitter {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-        match msg.downcast::<CtrlCmd>() {
-            Ok(cmd) => self.forward(ctx, *cmd),
-            Err(msg) => {
-                let resp = msg
-                    .downcast::<CtrlResp>()
-                    .expect("flash splitter got an unexpected message type");
-                self.unrename(ctx, *resp);
-            }
+impl<M: FlashProtocol> Component<M> for FlashSplitter {
+    fn handle(&mut self, ctx: &mut Ctx<'_, M>, msg: M) {
+        match msg.into_flash() {
+            FlashMsg::Cmd(cmd) => self.forward(ctx, cmd),
+            FlashMsg::Resp(resp) => self.unrename(ctx, resp),
+            other => panic!("flash splitter got an unexpected message: {other:?}"),
         }
     }
 }
@@ -166,14 +162,18 @@ mod tests {
         done: Vec<Tag>,
     }
 
-    impl Component for Client {
-        fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-            let resp = msg.downcast::<CtrlResp>().expect("CtrlResp");
+    impl Component<FlashMsg> for Client {
+        fn handle(&mut self, _ctx: &mut Ctx<'_, FlashMsg>, msg: FlashMsg) {
+            let FlashMsg::Resp(resp) = msg else {
+                panic!("CtrlResp expected")
+            };
             self.done.push(resp.tag());
         }
     }
 
-    fn world(tag_count: usize) -> (Simulator, ComponentId, ComponentId, ComponentId, ComponentId) {
+    fn world(
+        tag_count: usize,
+    ) -> (Simulator<FlashMsg>, ComponentId, ComponentId, ComponentId, ComponentId) {
         let mut sim = Simulator::new();
         let mut array = FlashArray::new(FlashGeometry::tiny(), 3);
         let data = vec![6u8; FlashGeometry::tiny().page_bytes];

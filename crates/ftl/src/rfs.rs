@@ -619,11 +619,11 @@ mod tests {
             contents.push(data);
         }
         // Interleaved appends.
-        for i in 0..12 {
+        for (i, content) in contents.iter_mut().enumerate() {
             let name = format!("file{i}");
             let extra = bytes(333, 50 + i as u64);
             fs.append(&name, &extra).unwrap();
-            contents[i].extend_from_slice(&extra);
+            content.extend_from_slice(&extra);
         }
         for (i, want) in contents.iter().enumerate() {
             assert_eq!(&fs.read(&format!("file{i}")).unwrap(), want, "file{i}");

@@ -21,9 +21,11 @@
 //!   flash bursts until a DMA burst is contiguous.
 
 pub mod bufpool;
+pub mod msg;
 pub mod pcie;
 pub mod reorder;
 
 pub use bufpool::BufferPool;
+pub use msg::{HostMsg, HostProtocol};
 pub use pcie::{Direction, PcieDone, PcieLink, PcieParams, PcieXfer};
 pub use reorder::ReorderQueue;

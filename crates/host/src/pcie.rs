@@ -7,12 +7,12 @@
 //! exist so that setup latency of back-to-back transfers overlaps — with
 //! one engine the paper's 1.6 GB/s would not be reachable at 8 KiB pages.
 
-use std::any::Any;
-
 use bluedbm_sim::engine::{Component, ComponentId, Ctx};
 use bluedbm_sim::resource::{MultiResource, SerialResource};
 use bluedbm_sim::stats::{Histogram, Throughput};
 use bluedbm_sim::time::{Bandwidth, SimTime};
+
+use crate::msg::{HostMsg, HostProtocol};
 
 /// Which way a transfer crosses the link.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -68,9 +68,10 @@ impl Default for PcieParams {
     }
 }
 
-/// A transfer request addressed to a [`PcieLink`].
+/// A transfer request addressed to a [`PcieLink`], generic over the
+/// carried body type.
 #[derive(Debug)]
-pub struct PcieXfer {
+pub struct PcieXfer<B> {
     /// Transfer direction.
     pub direction: Direction,
     /// Bytes to move.
@@ -80,32 +81,26 @@ pub struct PcieXfer {
     pub notify: ComponentId,
     /// Caller token echoed in the completion.
     pub token: u64,
-    /// Optional message object carried across (the functional payload).
-    pub body: Box<dyn Any>,
+    /// Message object carried across (the functional payload).
+    pub body: B,
 }
 
-impl PcieXfer {
+impl<B> PcieXfer<B> {
     /// Convenience constructor.
-    pub fn new<B: Any>(
-        direction: Direction,
-        bytes: u32,
-        notify: ComponentId,
-        token: u64,
-        body: B,
-    ) -> Self {
+    pub fn new(direction: Direction, bytes: u32, notify: ComponentId, token: u64, body: B) -> Self {
         PcieXfer {
             direction,
             bytes,
             notify,
             token,
-            body: Box::new(body),
+            body,
         }
     }
 }
 
 /// Completion of a [`PcieXfer`].
 #[derive(Debug)]
-pub struct PcieDone {
+pub struct PcieDone<B> {
     /// Echo of the request token.
     pub token: u64,
     /// Direction that completed.
@@ -115,7 +110,7 @@ pub struct PcieDone {
     /// Request-accept to notification-delivered latency.
     pub latency: SimTime,
     /// The carried message object.
-    pub body: Box<dyn Any>,
+    pub body: B,
 }
 
 /// Per-direction statistics.
@@ -166,17 +161,19 @@ impl PcieLink {
     }
 }
 
-/// Internal: completion scheduled for the future.
-struct Finish {
-    done: PcieDone,
+/// Link-internal delayed completion. Public only because it rides the
+/// [`HostMsg`] enum as a self-send; nothing outside the link constructs
+/// or inspects one.
+#[derive(Debug)]
+pub struct Finish<B> {
+    done: PcieDone<B>,
     notify: ComponentId,
 }
 
-impl Component for PcieLink {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-        match msg.downcast::<PcieXfer>() {
-            Ok(xfer) => {
-                let xfer = *xfer;
+impl<M: HostProtocol> Component<M> for PcieLink {
+    fn handle(&mut self, ctx: &mut Ctx<'_, M>, msg: M) {
+        match msg.into_host() {
+            HostMsg::Xfer(xfer) => {
                 let (engines, link, bw) = match xfer.direction {
                     Direction::DeviceToHost => {
                         (&mut self.d2h_engines, &mut self.d2h_link, self.params.d2h)
@@ -200,7 +197,7 @@ impl Component for PcieLink {
                 stats.throughput.record(done_at, u64::from(xfer.bytes));
                 ctx.send_self(
                     done_at - ctx.now(),
-                    Finish {
+                    HostMsg::Finish(Finish {
                         done: PcieDone {
                             token: xfer.token,
                             direction: xfer.direction,
@@ -209,15 +206,13 @@ impl Component for PcieLink {
                             body: xfer.body,
                         },
                         notify: xfer.notify,
-                    },
+                    }),
                 );
             }
-            Err(msg) => {
-                let finish = msg
-                    .downcast::<Finish>()
-                    .expect("pcie link got an unexpected message type");
-                ctx.send_boxed(finish.notify, SimTime::ZERO, Box::new(finish.done));
+            HostMsg::Finish(finish) => {
+                ctx.send(finish.notify, SimTime::ZERO, HostMsg::Done(finish.done));
             }
+            other => panic!("pcie link got an unexpected message: {}", other.kind()),
         }
     }
 }
@@ -232,15 +227,19 @@ mod tests {
         bytes: u64,
     }
 
-    impl Component for Sink {
-        fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-            let d = msg.downcast::<PcieDone>().expect("PcieDone");
+    type TestMsg = HostMsg<()>;
+
+    impl Component<TestMsg> for Sink {
+        fn handle(&mut self, _ctx: &mut Ctx<'_, TestMsg>, msg: TestMsg) {
+            let HostMsg::Done(d) = msg else {
+                panic!("PcieDone expected")
+            };
             self.done.push((d.token, d.latency));
             self.bytes += u64::from(d.bytes);
         }
     }
 
-    fn world() -> (Simulator, ComponentId, ComponentId) {
+    fn world() -> (Simulator<TestMsg>, ComponentId, ComponentId) {
         let mut sim = Simulator::new();
         let link = sim.add_component(PcieLink::new(PcieParams::paper()));
         let sink = sim.add_component(Sink {
@@ -364,7 +363,7 @@ mod tests {
         sim.schedule(
             SimTime::ZERO,
             link,
-            PcieXfer::new(Direction::HostToDevice, 64, sink, 42, "payload"),
+            PcieXfer::new(Direction::HostToDevice, 64, sink, 42, ()),
         );
         sim.run();
         let s = sim.component::<Sink>(sink).unwrap();

@@ -199,7 +199,7 @@ mod tests {
         let adj = chain(100);
         let g = PackedGraph::build(&adj, 64);
         // Each chain vertex needs 8 bytes; 8 per 64-byte page.
-        assert_eq!(g.page_count(), (100 + 7) / 8);
+        assert_eq!(g.page_count(), 100_usize.div_ceil(8));
         assert!(g.page(0).len() == 64);
     }
 

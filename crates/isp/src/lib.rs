@@ -92,7 +92,7 @@ mod tests {
         ];
         for e in &engines {
             assert!(!e.name().is_empty());
-            assert_eq!(e.result_bytes() % 1, 0);
+            let _ = e.result_bytes();
         }
     }
 }

@@ -22,12 +22,14 @@
 //! for the packet's full serialization time — which is exactly the
 //! behaviour behind Figure 11's flat bandwidth-vs-hops curve.
 
+pub mod msg;
 pub mod packet;
 pub mod router;
 pub mod routing;
 pub mod topology;
 
+pub use msg::{NetMsg, NetProtocol};
 pub use packet::{NetParams, Packet};
-pub use router::{NetSend, Router, RouterStats};
+pub use router::{build_network, NetRecv, NetSend, Router, RouterStats};
 pub use routing::RoutingTable;
 pub use topology::{NodeId, PortId, Topology};

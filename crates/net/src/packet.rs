@@ -1,7 +1,5 @@
 //! Packets and link-layer parameters.
 
-use std::any::Any;
-
 use bluedbm_sim::time::{Bandwidth, SimTime};
 
 use crate::topology::NodeId;
@@ -66,14 +64,15 @@ impl Default for NetParams {
     }
 }
 
-/// One packet on the storage network.
+/// One packet on the storage network, generic over the body type.
 ///
 /// `payload_bytes` drives the timing model; `body` carries the actual
 /// message object (a remote read request, a page of data, ...) for the
 /// functional layer. The two are decoupled so control messages can be
-/// "small" on the wire while still carrying rich Rust types.
+/// "small" on the wire while still carrying rich Rust types — and the
+/// body travels inline, not boxed.
 #[derive(Debug)]
-pub struct Packet {
+pub struct Packet<B> {
     /// Originating node.
     pub src: NodeId,
     /// Destination node.
@@ -85,25 +84,19 @@ pub struct Packet {
     /// Per-(endpoint, src) sequence number, for order checking.
     pub seq: u64,
     /// The message object delivered to the receiving endpoint.
-    pub body: Box<dyn Any>,
+    pub body: B,
 }
 
-impl Packet {
+impl<B> Packet<B> {
     /// Construct a packet; `seq` is usually filled by the sending router.
-    pub fn new<B: Any>(
-        src: NodeId,
-        dst: NodeId,
-        endpoint: u16,
-        payload_bytes: u32,
-        body: B,
-    ) -> Self {
+    pub fn new(src: NodeId, dst: NodeId, endpoint: u16, payload_bytes: u32, body: B) -> Self {
         Packet {
             src,
             dst,
             endpoint,
             payload_bytes,
             seq: 0,
-            body: Box::new(body),
+            body,
         }
     }
 }
@@ -141,6 +134,6 @@ mod tests {
         assert_eq!(pkt.dst, NodeId(2));
         assert_eq!(pkt.endpoint, 3);
         assert_eq!(pkt.seq, 0);
-        assert_eq!(*pkt.body.downcast::<&str>().unwrap(), "hello");
+        assert_eq!(pkt.body, "hello");
     }
 }

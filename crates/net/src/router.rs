@@ -14,8 +14,10 @@
 //!   buffer. At zero credits the egress queue backs up instead of
 //!   dropping — the paper's guarantee that "packets will not drop if the
 //!   data rate is higher than what the network can manage".
+//!
+//! The router is generic over the packet body type `B` and speaks the
+//! typed [`NetMsg<B>`] protocol — see [`crate::msg`].
 
-use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
@@ -24,6 +26,7 @@ use bluedbm_sim::resource::SerialResource;
 use bluedbm_sim::stats::Histogram;
 use bluedbm_sim::time::SimTime;
 
+use crate::msg::{NetMsg, NetProtocol};
 use crate::packet::{NetParams, Packet};
 use crate::routing::RoutingTable;
 use crate::topology::{NodeId, PortId, Topology};
@@ -33,7 +36,7 @@ use crate::topology::{NodeId, PortId, Topology};
 /// Senders address this to their node's [`Router`]; the router stamps the
 /// per-flow sequence number and routes it.
 #[derive(Debug)]
-pub struct NetSend {
+pub struct NetSend<B> {
     /// Destination node.
     pub dst: NodeId,
     /// Logical endpoint (virtual channel).
@@ -41,24 +44,24 @@ pub struct NetSend {
     /// Wire size of the payload.
     pub payload_bytes: u32,
     /// Message object delivered at the far end.
-    pub body: Box<dyn Any>,
+    pub body: B,
 }
 
-impl NetSend {
+impl<B> NetSend<B> {
     /// Convenience constructor.
-    pub fn new<B: Any>(dst: NodeId, endpoint: u16, payload_bytes: u32, body: B) -> Self {
+    pub fn new(dst: NodeId, endpoint: u16, payload_bytes: u32, body: B) -> Self {
         NetSend {
             dst,
             endpoint,
             payload_bytes,
-            body: Box::new(body),
+            body,
         }
     }
 }
 
 /// A packet delivered to an endpoint consumer.
 #[derive(Debug)]
-pub struct NetRecv {
+pub struct NetRecv<B> {
     /// Originating node.
     pub src: NodeId,
     /// Endpoint it arrived on.
@@ -71,12 +74,15 @@ pub struct NetRecv {
     /// End-to-end network latency (send accepted -> tail delivered).
     pub latency: SimTime,
     /// The message object.
-    pub body: Box<dyn Any>,
+    pub body: B,
 }
 
-/// Router-to-router transfer (head arrival of a packet).
-struct Wire {
-    packet: Packet,
+/// Router-to-router transfer (head arrival of a packet). Public only
+/// because it rides the [`NetMsg`] enum; nothing outside the router
+/// constructs or inspects one.
+#[derive(Debug)]
+pub struct Wire<B> {
+    packet: Packet<B>,
     /// Time between head and tail at this position (serialization time of
     /// the slowest traversed lane — uniform lanes make this the common
     /// packet time).
@@ -89,24 +95,27 @@ struct Wire {
 }
 
 /// Token returned by the downstream router when a packet leaves its
-/// buffer.
-struct CreditReturn {
+/// buffer. Public only because it rides the [`NetMsg`] enum.
+#[derive(Debug)]
+pub struct CreditReturn {
     port: PortId,
 }
 
 /// End-to-end acknowledgement: the destination endpoint consumed one
 /// packet of this flow. Modelled as a minimal control packet travelling
-/// back over the same number of hops.
-struct E2eAck {
+/// back over the same number of hops. Public only because it rides the
+/// [`NetMsg`] enum.
+#[derive(Debug)]
+pub struct E2eAck {
     endpoint: u16,
     dst: NodeId,
 }
 
-struct Egress {
+struct Egress<B> {
     peer: ComponentId,
     credits: u32,
     lane: SerialResource,
-    queue: VecDeque<Wire>,
+    queue: VecDeque<Wire<B>>,
 }
 
 /// Cumulative router statistics.
@@ -128,13 +137,13 @@ pub struct RouterStats {
     pub order_violations: u64,
 }
 
-/// The per-node network component. Build a full network with
-/// [`build_network`].
-pub struct Router {
+/// The per-node network component, generic over the packet body type.
+/// Build a full network with [`build_network`].
+pub struct Router<B> {
     node: NodeId,
     params: NetParams,
     routing: Rc<RoutingTable>,
-    ports: Vec<Option<Egress>>,
+    ports: Vec<Option<Egress<B>>>,
     endpoints: HashMap<u16, ComponentId>,
     next_seq: HashMap<(u16, NodeId), u64>,
     expect_seq: HashMap<(u16, NodeId), u64>,
@@ -148,11 +157,11 @@ pub struct Router {
     /// Outstanding unacknowledged packets per (endpoint, destination).
     e2e_outstanding: HashMap<(u16, NodeId), u32>,
     /// Sends waiting for an end-to-end credit.
-    e2e_waiting: HashMap<(u16, NodeId), std::collections::VecDeque<NetSend>>,
+    e2e_waiting: HashMap<(u16, NodeId), VecDeque<NetSend<B>>>,
     stats: RouterStats,
 }
 
-impl Router {
+impl<B: 'static> Router<B> {
     /// Register the consumer component for a logical endpoint. Packets
     /// arriving for `endpoint` are delivered to it as [`NetRecv`]s.
     pub fn register_endpoint(&mut self, endpoint: u16, consumer: ComponentId) {
@@ -183,7 +192,10 @@ impl Router {
         self.node
     }
 
-    fn transmit(&mut self, ctx: &mut Ctx<'_>, port: PortId, wire: Wire) {
+    fn transmit<M>(&mut self, ctx: &mut Ctx<'_, M>, port: PortId, wire: Wire<B>)
+    where
+        M: NetProtocol<Body = B>,
+    {
         let egress = self.ports[port.0 as usize]
             .as_mut()
             .expect("route points at a cabled port");
@@ -200,24 +212,27 @@ impl Router {
             ctx.send(
                 up,
                 grant.end + self.params.hop_latency - ctx.now(),
-                CreditReturn { port: up_port },
+                NetMsg::Credit(CreditReturn { port: up_port }),
             );
         }
         let me = ctx.self_id();
         ctx.send(
             egress.peer,
             grant.start + self.params.hop_latency - ctx.now(),
-            Wire {
+            NetMsg::Wire(Wire {
                 packet: wire.packet,
                 tail_lag: ptime,
                 sent_at: wire.sent_at,
                 via: Some((me, port)),
                 wants_ack: wire.wants_ack,
-            },
+            }),
         );
     }
 
-    fn route_or_deliver(&mut self, ctx: &mut Ctx<'_>, wire: Wire) {
+    fn route_or_deliver<M>(&mut self, ctx: &mut Ctx<'_, M>, wire: Wire<B>)
+    where
+        M: NetProtocol<Body = B>,
+    {
         if wire.packet.dst == self.node {
             self.deliver(ctx, wire);
             return;
@@ -226,10 +241,7 @@ impl Router {
             .routing
             .next_port(self.node, wire.packet.dst, wire.packet.endpoint)
             .unwrap_or_else(|| {
-                panic!(
-                    "no route from {} to {}",
-                    self.node, wire.packet.dst
-                )
+                panic!("no route from {} to {}", self.node, wire.packet.dst)
             });
         if wire.via.is_some() {
             self.stats.forwarded += 1;
@@ -237,14 +249,17 @@ impl Router {
         self.transmit(ctx, port, wire);
     }
 
-    fn deliver(&mut self, ctx: &mut Ctx<'_>, wire: Wire) {
+    fn deliver<M>(&mut self, ctx: &mut Ctx<'_, M>, wire: Wire<B>)
+    where
+        M: NetProtocol<Body = B>,
+    {
         let tail_at = wire.tail_lag; // relative to now (head arrival)
         if let Some((up, up_port)) = wire.via {
             // Buffer slot frees once the tail has fully arrived.
             ctx.send(
                 up,
                 tail_at + self.params.hop_latency,
-                CreditReturn { port: up_port },
+                NetMsg::Credit(CreditReturn { port: up_port }),
             );
         }
         let pkt = wire.packet;
@@ -274,32 +289,33 @@ impl Router {
             ctx.send(
                 self.peers[pkt.src.index()],
                 ack_delay,
-                E2eAck {
+                NetMsg::Ack(E2eAck {
                     endpoint: pkt.endpoint,
                     dst: self.node,
-                },
+                }),
             );
         }
         if let Some(&consumer) = self.endpoints.get(&pkt.endpoint) {
             ctx.send(
                 consumer,
                 tail_at,
-                NetRecv {
+                NetMsg::Recv(NetRecv {
                     src: pkt.src,
                     endpoint: pkt.endpoint,
                     seq: pkt.seq,
                     payload_bytes: pkt.payload_bytes,
                     latency,
                     body: pkt.body,
-                },
+                }),
             );
         }
     }
-}
 
-impl Router {
     /// Stamp and route one accepted send (past the end-to-end gate).
-    fn inject(&mut self, ctx: &mut Ctx<'_>, send: NetSend) {
+    fn inject<M>(&mut self, ctx: &mut Ctx<'_, M>, send: NetSend<B>)
+    where
+        M: NetProtocol<Body = B>,
+    {
         let seq_key = (send.endpoint, send.dst);
         let seq = self.next_seq.entry(seq_key).or_insert(0);
         let mut packet = Packet {
@@ -318,14 +334,14 @@ impl Router {
                 ctx.send(
                     consumer,
                     SimTime::ZERO,
-                    NetRecv {
+                    NetMsg::Recv(NetRecv {
                         src: packet.src,
                         endpoint: packet.endpoint,
                         seq: packet.seq,
                         payload_bytes: packet.payload_bytes,
                         latency: SimTime::ZERO,
                         body: packet.body,
-                    },
+                    }),
                 );
             }
             return;
@@ -344,11 +360,10 @@ impl Router {
     }
 }
 
-impl Component for Router {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-        let msg = match msg.downcast::<NetSend>() {
-            Ok(send) => {
-                let send = *send;
+impl<M: NetProtocol> Component<M> for Router<M::Body> {
+    fn handle(&mut self, ctx: &mut Ctx<'_, M>, msg: M) {
+        match msg.into_net() {
+            NetMsg::Send(send) => {
                 self.stats.injected += 1;
                 if send.dst != self.node {
                     if let Some(&cap) = self.e2e_credits.get(&send.endpoint) {
@@ -362,12 +377,8 @@ impl Component for Router {
                     }
                 }
                 self.inject(ctx, send);
-                return;
             }
-            Err(msg) => msg,
-        };
-        let msg = match msg.downcast::<E2eAck>() {
-            Ok(ack) => {
+            NetMsg::Ack(ack) => {
                 let key = (ack.endpoint, ack.dst);
                 let outstanding = self
                     .e2e_outstanding
@@ -377,31 +388,23 @@ impl Component for Router {
                 if let Some(next) = self
                     .e2e_waiting
                     .get_mut(&key)
-                    .and_then(std::collections::VecDeque::pop_front)
+                    .and_then(VecDeque::pop_front)
                 {
                     *self.e2e_outstanding.get_mut(&key).expect("present") += 1;
                     self.inject(ctx, next);
                 }
-                return;
             }
-            Err(msg) => msg,
-        };
-        let msg = match msg.downcast::<Wire>() {
-            Ok(wire) => {
-                self.route_or_deliver(ctx, *wire);
-                return;
+            NetMsg::Wire(wire) => self.route_or_deliver(ctx, wire),
+            NetMsg::Credit(credit) => {
+                let egress = self.ports[credit.port.0 as usize]
+                    .as_mut()
+                    .expect("credit for a cabled port");
+                egress.credits += 1;
+                if let Some(wire) = egress.queue.pop_front() {
+                    self.transmit(ctx, credit.port, wire);
+                }
             }
-            Err(msg) => msg,
-        };
-        let credit = msg
-            .downcast::<CreditReturn>()
-            .expect("router got an unexpected message type");
-        let egress = self.ports[credit.port.0 as usize]
-            .as_mut()
-            .expect("credit for a cabled port");
-        egress.credits += 1;
-        if let Some(wire) = egress.queue.pop_front() {
-            self.transmit(ctx, credit.port, wire);
+            other => panic!("router got an unexpected message: {}", other.kind()),
         }
     }
 }
@@ -412,17 +415,22 @@ impl Component for Router {
 /// # Examples
 ///
 /// ```rust
+/// use bluedbm_net::msg::NetMsg;
 /// use bluedbm_net::packet::NetParams;
 /// use bluedbm_net::router::build_network;
 /// use bluedbm_net::topology::Topology;
 /// use bluedbm_sim::engine::Simulator;
 ///
-/// let mut sim = Simulator::new();
+/// let mut sim = Simulator::<NetMsg<()>>::new();
 /// let topo = Topology::ring(4, 1);
 /// let routers = build_network(&mut sim, &topo, NetParams::paper());
 /// assert_eq!(routers.len(), 4);
 /// ```
-pub fn build_network(sim: &mut Simulator, topo: &Topology, params: NetParams) -> Vec<ComponentId> {
+pub fn build_network<M: NetProtocol>(
+    sim: &mut Simulator<M>,
+    topo: &Topology,
+    params: NetParams,
+) -> Vec<ComponentId> {
     let routing = Rc::new(RoutingTable::compute(topo));
     let ids: Vec<ComponentId> = (0..topo.node_count()).map(|_| sim.reserve()).collect();
     let peers = Rc::new(ids.clone());
@@ -438,7 +446,7 @@ pub fn build_network(sim: &mut Simulator, topo: &Topology, params: NetParams) ->
                 })
             })
             .collect();
-        sim.install(
+        sim.install::<Router<M::Body>>(
             ids[n],
             Router {
                 node,
@@ -463,6 +471,8 @@ pub fn build_network(sim: &mut Simulator, topo: &Topology, params: NetParams) ->
 mod tests {
     use super::*;
 
+    type TestMsg = NetMsg<()>;
+
     /// Endpoint consumer that records arrivals.
     struct Sink {
         got: Vec<(NodeId, u64, SimTime)>,
@@ -478,17 +488,24 @@ mod tests {
         }
     }
 
-    impl Component for Sink {
-        fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-            let r = msg.downcast::<NetRecv>().expect("NetRecv");
+    impl Component<TestMsg> for Sink {
+        fn handle(&mut self, _ctx: &mut Ctx<'_, TestMsg>, msg: TestMsg) {
+            let NetMsg::Recv(r) = msg else {
+                panic!("NetRecv expected")
+            };
             self.got.push((r.src, r.seq, r.latency));
             self.bytes += u64::from(r.payload_bytes);
         }
     }
 
-    fn sink_on(sim: &mut Simulator, routers: &[ComponentId], node: usize, ep: u16) -> ComponentId {
+    fn sink_on(
+        sim: &mut Simulator<TestMsg>,
+        routers: &[ComponentId],
+        node: usize,
+        ep: u16,
+    ) -> ComponentId {
         let sink = sim.add_component(Sink::new());
-        sim.component_mut::<Router>(routers[node])
+        sim.component_mut::<Router<()>>(routers[node])
             .unwrap()
             .register_endpoint(ep, sink);
         sink
@@ -600,7 +617,7 @@ mod tests {
         assert_eq!(seqs, (0..50).collect::<Vec<_>>(), "FIFO per endpoint");
         for r in &routers {
             assert_eq!(
-                sim.component::<Router>(*r).unwrap().stats().order_violations,
+                sim.component::<Router<()>>(*r).unwrap().stats().order_violations,
                 0
             );
         }
@@ -627,7 +644,7 @@ mod tests {
         sim.run();
         let s = sim.component::<Sink>(sink).unwrap();
         assert_eq!(s.got.len(), N, "no packet may be dropped");
-        let r0 = sim.component::<Router>(routers[0]).unwrap();
+        let r0 = sim.component::<Router<()>>(routers[0]).unwrap();
         assert!(r0.stats().credit_stalls > 0, "starved credits must stall");
     }
 
@@ -712,7 +729,7 @@ mod tests {
             let routers = build_network(&mut sim, &topo, NetParams::paper());
             let sink = sink_on(&mut sim, &routers, 2, 0);
             if let Some(credits) = e2e {
-                sim.component_mut::<Router>(routers[0])
+                sim.component_mut::<Router<()>>(routers[0])
                     .unwrap()
                     .set_e2e_credits(0, credits);
             }
@@ -755,7 +772,7 @@ mod tests {
         let topo = Topology::line(2, 1);
         let routers = build_network(&mut sim, &topo, NetParams::paper());
         let sink = sink_on(&mut sim, &routers, 1, 3);
-        sim.component_mut::<Router>(routers[0])
+        sim.component_mut::<Router<()>>(routers[0])
             .unwrap()
             .set_e2e_credits(3, 2);
         for _ in 0..20 {
@@ -769,17 +786,17 @@ mod tests {
         let s = sim.component::<Sink>(sink).unwrap();
         let seqs: Vec<u64> = s.got.iter().map(|&(_, q, _)| q).collect();
         assert_eq!(seqs, (0..20).collect::<Vec<_>>());
-        let r1 = sim.component::<Router>(routers[1]).unwrap();
+        let r1 = sim.component::<Router<()>>(routers[1]).unwrap();
         assert_eq!(r1.stats().order_violations, 0);
     }
 
     #[test]
     #[should_panic(expected = "at least one credit")]
     fn e2e_zero_credits_rejected() {
-        let mut sim = Simulator::new();
+        let mut sim = Simulator::<TestMsg>::new();
         let topo = Topology::line(2, 1);
         let routers = build_network(&mut sim, &topo, NetParams::paper());
-        sim.component_mut::<Router>(routers[0])
+        sim.component_mut::<Router<()>>(routers[0])
             .unwrap()
             .set_e2e_credits(0, 0);
     }
@@ -798,7 +815,7 @@ mod tests {
             );
         }
         sim.run();
-        let r2 = sim.component::<Router>(routers[2]).unwrap();
+        let r2 = sim.component::<Router<()>>(routers[2]).unwrap();
         assert_eq!(r2.stats().delivered, 10);
         assert!(r2.stats().latency.mean() >= SimTime::ns(900), "2 hops");
     }

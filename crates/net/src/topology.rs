@@ -207,7 +207,7 @@ impl Topology {
     pub fn tree(fanout: usize, levels: usize) -> Self {
         assert!(levels >= 1 && fanout >= 1);
         assert!(
-            fanout + 1 <= Self::MAX_PORTS,
+            fanout < Self::MAX_PORTS,
             "inner nodes need fanout+1 <= 8 ports"
         );
         let mut starts = Vec::with_capacity(levels);
@@ -421,8 +421,8 @@ mod tests {
         assert!(t.is_connected());
         // Any two leaves are 2 hops apart through a spine.
         let d = t.distances_from(NodeId(3));
-        for leaf in 4..7 {
-            assert_eq!(d[leaf], 2);
+        for leaf in &d[4..7] {
+            assert_eq!(*leaf, 2);
         }
         // Deterministic routing spreads endpoints across all 3 spines.
         let table = RoutingTable::compute(&t);

@@ -1,4 +1,5 @@
-//! The discrete-event engine: components, messages and the event queue.
+//! The discrete-event engine: typed messages, components and the event
+//! queue.
 //!
 //! Hardware blocks (flash controllers, network switches, DMA engines, ...)
 //! are modelled as [`Component`]s registered with a [`Simulator`]. They
@@ -6,13 +7,39 @@
 //! [`ComponentId`]s with a non-negative delay; the engine delivers messages
 //! in a total order (time, then scheduling sequence), which makes every run
 //! deterministic.
+//!
+//! ## The typed message kernel
+//!
+//! A simulation is instantiated over one concrete message type `M`
+//! (typically an enum composing every protocol in the model — see
+//! `bluedbm_core::Msg` for the workspace-wide instance). Messages travel
+//! **inline**: no per-message heap allocation, no `Box<dyn Any>`, no
+//! downcast on delivery — a component receives `M` by value and matches on
+//! it. This is the hot path of every experiment, so its layout is tuned:
+//!
+//! * pending events live in a **slab arena** (`Vec` + free list) that is
+//!   reused for the whole run, and the priority queue itself is a
+//!   **four-ary index heap** of small `(time, seq, slot)` keys — sifting
+//!   moves 16-byte keys, never payloads, and the shallower 4-ary tree
+//!   halves the pointer-chasing depth of a binary heap;
+//! * **same-instant sends** (`delay == 0`, the dominant pattern in
+//!   command-forwarding chains) bypass the heap entirely through a FIFO
+//!   fast queue: because a handler's sends always carry the newest
+//!   sequence numbers at the current instant, appending to that queue
+//!   keeps it globally sorted by `(time, seq)` and the dispatcher only
+//!   has to compare its head with the heap root.
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 use std::fmt;
 
 use crate::time::SimTime;
+
+/// Marker for types usable as a simulation's message type. Blanket-implemented
+/// for every sized `'static` type, so plain structs and enums qualify as-is.
+pub trait Message: Sized + 'static {}
+
+impl<T: Sized + 'static> Message for T {}
 
 /// Handle to a component registered with a [`Simulator`].
 ///
@@ -35,58 +62,178 @@ impl fmt::Debug for ComponentId {
     }
 }
 
-/// A hardware block in the simulation.
+/// A hardware block in a simulation over message type `M`.
 ///
 /// Implementors receive every message addressed to them via
 /// [`Component::handle`] and respond by scheduling further messages through
 /// the [`Ctx`]. The `Any` supertrait enables typed access to component
 /// state after (or during) a run via [`Simulator::component`].
-pub trait Component: Any {
+pub trait Component<M: Message>: Any {
     /// Process one message delivered at `ctx.now()`.
     ///
-    /// Unrecognized message types should be ignored or `panic!` — a panic
-    /// indicates a wiring bug, not a runtime condition, so models here
-    /// generally prefer to panic loudly.
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>);
+    /// Message variants a component is not wired for indicate a wiring
+    /// bug, not a runtime condition, so models here `panic!` loudly on
+    /// them.
+    fn handle(&mut self, ctx: &mut Ctx<'_, M>, msg: M);
 }
 
-struct Scheduled {
+/// Total delivery order: time first, then scheduling sequence. `seq` is
+/// unique per event, so the order is total and runs are deterministic.
+///
+/// The derived lexicographic `Ord` **is** the queue order (this type
+/// replaces the old `Scheduled` struct whose manual `Ord`/`PartialEq`
+/// pair disagreed about which fields participate).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct EventKey {
     at: SimTime,
     seq: u64,
-    to: ComponentId,
-    msg: Box<dyn Any>,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// One entry of the four-ary index heap: the order key plus the arena
+/// slot holding the payload. Payloads never move during sifting.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    key: EventKey,
+    slot: u32,
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Arena slot: either a pending event's payload or a free-list link.
+enum Slot<M> {
+    Free { next: u32 },
+    Full { to: ComponentId, msg: M },
 }
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+/// Same-instant event held in the heap-bypass FIFO.
+struct FastEvent<M> {
+    key: EventKey,
+    to: ComponentId,
+    msg: M,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+/// The event queues: the four-ary index heap + payload arena for future
+/// events, and the FIFO fast queue for same-instant ones. Split out of
+/// [`Simulator`] so a running handler's [`Ctx`] can push events directly
+/// (the executing component is temporarily moved out of the component
+/// table, so no aliasing is possible) — each send is a single inline
+/// move, with no intermediate outbox copy.
+struct Queues<M> {
+    /// Four-ary min-heap of `(key, slot)` entries.
+    heap: Vec<HeapEntry>,
+    /// Payload arena; freed slots chain through `free_head`.
+    slots: Vec<Slot<M>>,
+    free_head: u32,
+    /// Same-instant sends, globally sorted by `(at, seq)` by construction.
+    fast: VecDeque<FastEvent<M>>,
+    seq: u64,
+}
+
+impl<M: Message> Queues<M> {
+    fn with_capacity(events: usize) -> Self {
+        Queues {
+            heap: Vec::with_capacity(events),
+            slots: Vec::with_capacity(events),
+            free_head: NO_SLOT,
+            fast: VecDeque::with_capacity(events.min(256)),
+            seq: 0,
+        }
+    }
+
+    #[inline]
+    fn alloc_slot(&mut self, to: ComponentId, msg: M) -> u32 {
+        let head = self.free_head;
+        if head == NO_SLOT {
+            self.slots.push(Slot::Full { to, msg });
+            (self.slots.len() - 1) as u32
+        } else {
+            match self.slots[head as usize] {
+                Slot::Free { next } => self.free_head = next,
+                Slot::Full { .. } => unreachable!("free list points at a full slot"),
+            }
+            self.slots[head as usize] = Slot::Full { to, msg };
+            head
+        }
+    }
+
+    #[inline]
+    fn take_slot(&mut self, slot: u32) -> (ComponentId, M) {
+        let prev = std::mem::replace(
+            &mut self.slots[slot as usize],
+            Slot::Free {
+                next: self.free_head,
+            },
+        );
+        self.free_head = slot;
+        match prev {
+            Slot::Full { to, msg } => (to, msg),
+            Slot::Free { .. } => unreachable!("heap entry points at a free slot"),
+        }
+    }
+
+    /// Enqueue one event. `now` is the current instant: events landing
+    /// exactly on it take the heap-bypass FIFO (their keys are strictly
+    /// larger than anything already queued at `now`, so appending
+    /// preserves the fast queue's global `(at, seq)` order).
+    #[inline]
+    fn push(&mut self, now: SimTime, at: SimTime, to: ComponentId, msg: M) {
+        let key = EventKey { at, seq: self.seq };
+        self.seq += 1;
+        if at == now {
+            self.fast.push_back(FastEvent { key, to, msg });
+        } else {
+            let slot = self.alloc_slot(to, msg);
+            self.heap.push(HeapEntry { key, slot });
+            let last = self.heap.len() - 1;
+            sift_up(&mut self.heap, last);
+        }
+    }
+
+    /// Pop the globally next event, if any: the smaller of the fast-queue
+    /// head and the heap root.
+    #[inline]
+    fn pop_next(&mut self) -> Option<(EventKey, ComponentId, M)> {
+        let take_fast = match (self.fast.front(), self.heap.first()) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(f), Some(h)) => f.key <= h.key,
+        };
+        if take_fast {
+            let f = self.fast.pop_front().expect("checked non-empty");
+            Some((f.key, f.to, f.msg))
+        } else {
+            let e = pop_root(&mut self.heap).expect("checked non-empty");
+            let (to, msg) = self.take_slot(e.slot);
+            Some((e.key, to, msg))
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[inline]
+    fn next_at(&self) -> Option<SimTime> {
+        match (self.fast.front(), self.heap.first()) {
+            (None, None) => None,
+            (Some(f), None) => Some(f.key.at),
+            (None, Some(h)) => Some(h.key.at),
+            (Some(f), Some(h)) => Some(f.key.at.min(h.key.at)),
+        }
     }
 }
 
 /// Execution context passed to [`Component::handle`].
 ///
-/// Lets the running component read the clock and schedule messages; sends
-/// are buffered and committed to the event queue when the handler returns,
-/// so a handler never observes its own same-instant sends.
-pub struct Ctx<'a> {
+/// Lets the running component read the clock and schedule messages. Sends
+/// are sequenced after every event already queued at the current instant,
+/// so a handler never receives its own same-instant sends before the
+/// dispatcher has finished the surrounding event.
+pub struct Ctx<'a, M: Message> {
     now: SimTime,
     self_id: ComponentId,
-    outbox: &'a mut Vec<(SimTime, ComponentId, Box<dyn Any>)>,
+    queues: &'a mut Queues<M>,
 }
 
-impl Ctx<'_> {
+impl<M: Message> Ctx<'_, M> {
     /// Current simulated time.
     #[inline]
     pub fn now(&self) -> SimTime {
@@ -101,51 +248,50 @@ impl Ctx<'_> {
 
     /// Schedule `msg` for delivery to `to` after `delay` (zero is allowed;
     /// same-instant messages are delivered in send order).
-    pub fn send<M: Any>(&mut self, to: ComponentId, delay: SimTime, msg: M) {
-        self.outbox.push((self.now + delay, to, Box::new(msg)));
+    #[inline]
+    pub fn send<T: Into<M>>(&mut self, to: ComponentId, delay: SimTime, msg: T) {
+        self.queues.push(self.now, self.now + delay, to, msg.into());
     }
 
     /// Schedule a message back to the executing component — the idiom for
     /// modelling internal latency (e.g. "finish this NAND read in 50 µs").
-    pub fn send_self<M: Any>(&mut self, delay: SimTime, msg: M) {
-        self.send(self.self_id, delay, msg);
-    }
-
-    /// Schedule an already-boxed message (used when forwarding payloads
-    /// whose concrete type the forwarder does not know).
-    pub fn send_boxed(&mut self, to: ComponentId, delay: SimTime, msg: Box<dyn Any>) {
-        self.outbox.push((self.now + delay, to, msg));
+    #[inline]
+    pub fn send_self<T: Into<M>>(&mut self, delay: SimTime, msg: T) {
+        let id = self.self_id;
+        self.send(id, delay, msg);
     }
 }
 
-/// The event-driven simulator.
+/// The event-driven simulator over message type `M`.
 ///
 /// See the [crate-level documentation](crate) for a complete example.
-pub struct Simulator {
+pub struct Simulator<M: Message> {
     now: SimTime,
-    seq: u64,
     delivered: u64,
-    heap: BinaryHeap<Scheduled>,
-    components: Vec<Option<Box<dyn Component>>>,
-    outbox: Vec<(SimTime, ComponentId, Box<dyn Any>)>,
+    queues: Queues<M>,
+    components: Vec<Option<Box<dyn Component<M>>>>,
 }
 
-impl Default for Simulator {
+impl<M: Message> Default for Simulator<M> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Simulator {
+impl<M: Message> Simulator<M> {
     /// An empty simulator at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(64)
+    }
+
+    /// An empty simulator with room for `events` pending events before
+    /// any queue reallocation.
+    pub fn with_capacity(events: usize) -> Self {
         Simulator {
             now: SimTime::ZERO,
-            seq: 0,
             delivered: 0,
-            heap: BinaryHeap::new(),
+            queues: Queues::with_capacity(events),
             components: Vec::new(),
-            outbox: Vec::new(),
         }
     }
 
@@ -168,8 +314,22 @@ impl Simulator {
         self.components.len()
     }
 
+    /// Events currently pending (heap plus fast queue).
+    #[inline]
+    pub fn pending_events(&self) -> usize {
+        self.queues.heap.len() + self.queues.fast.len()
+    }
+
+    /// Size of the payload arena (slots ever allocated, free or full).
+    /// Stays flat under steady-state load thanks to the free list; exposed
+    /// for capacity introspection and the kernel's own regression tests.
+    #[inline]
+    pub fn arena_slots(&self) -> usize {
+        self.queues.slots.len()
+    }
+
     /// Register a component and return its id.
-    pub fn add_component<C: Component>(&mut self, component: C) -> ComponentId {
+    pub fn add_component<C: Component<M>>(&mut self, component: C) -> ComponentId {
         let id = ComponentId(self.components.len());
         self.components.push(Some(Box::new(component)));
         id
@@ -191,7 +351,7 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if the slot is already occupied.
-    pub fn install<C: Component>(&mut self, id: ComponentId, component: C) {
+    pub fn install<C: Component<M>>(&mut self, id: ComponentId, component: C) {
         let slot = &mut self.components[id.0];
         assert!(slot.is_none(), "component slot {id:?} already installed");
         *slot = Some(Box::new(component));
@@ -202,28 +362,47 @@ impl Simulator {
     /// Returns `None` if `id` holds no component or the concrete type is
     /// not `C`. This is how experiment drivers read statistics out of
     /// models after a run.
-    pub fn component<C: Component>(&self, id: ComponentId) -> Option<&C> {
+    pub fn component<C: Component<M>>(&self, id: ComponentId) -> Option<&C> {
         let c = self.components.get(id.0)?.as_deref()?;
         (c as &dyn Any).downcast_ref::<C>()
     }
 
     /// Typed exclusive access to a component's state.
-    pub fn component_mut<C: Component>(&mut self, id: ComponentId) -> Option<&mut C> {
+    pub fn component_mut<C: Component<M>>(&mut self, id: ComponentId) -> Option<&mut C> {
         let c = self.components.get_mut(id.0)?.as_deref_mut()?;
         (c as &mut dyn Any).downcast_mut::<C>()
     }
 
-    /// Schedule `msg` for delivery to `to` at absolute-time-from-now
-    /// `delay` (external injection; components use [`Ctx::send`]).
-    pub fn schedule<M: Any>(&mut self, delay: SimTime, to: ComponentId, msg: M) {
-        let at = self.now + delay;
-        self.heap.push(Scheduled {
-            at,
-            seq: self.seq,
-            to,
-            msg: Box::new(msg),
-        });
-        self.seq += 1;
+    /// Schedule `msg` for delivery to `to` at `delay` from now (external
+    /// injection; components use [`Ctx::send`]).
+    ///
+    /// Shares [`Ctx::send`]'s insertion path — the fast-queue append is
+    /// safe here too, because any events still pending in the fast queue
+    /// sit at the current instant and this send's sequence number is
+    /// newer than theirs.
+    #[inline]
+    pub fn schedule<T: Into<M>>(&mut self, delay: SimTime, to: ComponentId, msg: T) {
+        self.queues.push(self.now, self.now + delay, to, msg.into());
+    }
+
+    /// Run one handler; its sends land in the queues directly.
+    fn dispatch(&mut self, at: SimTime, to: ComponentId, msg: M) {
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.delivered += 1;
+
+        let mut component = self.components[to.0]
+            .take()
+            .unwrap_or_else(|| panic!("message sent to uninstalled component {to:?}"));
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: to,
+                queues: &mut self.queues,
+            };
+            component.handle(&mut ctx, msg);
+        }
+        self.components[to.0] = Some(component);
     }
 
     /// Deliver the next event, if any. Returns `false` when the queue is
@@ -234,36 +413,13 @@ impl Simulator {
     /// Panics if the event targets a reserved slot that was never
     /// [`install`](Self::install)ed.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.heap.pop() else {
-            return false;
-        };
-        debug_assert!(ev.at >= self.now, "event queue went backwards");
-        self.now = ev.at;
-        self.delivered += 1;
-
-        let mut component = self.components[ev.to.0]
-            .take()
-            .unwrap_or_else(|| panic!("message sent to uninstalled component {:?}", ev.to));
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                self_id: ev.to,
-                outbox: &mut self.outbox,
-            };
-            component.handle(&mut ctx, ev.msg);
+        match self.queues.pop_next() {
+            Some((key, to, msg)) => {
+                self.dispatch(key.at, to, msg);
+                true
+            }
+            None => false,
         }
-        self.components[ev.to.0] = Some(component);
-
-        for (at, to, msg) in self.outbox.drain(..) {
-            self.heap.push(Scheduled {
-                at,
-                seq: self.seq,
-                to,
-                msg,
-            });
-            self.seq += 1;
-        }
-        true
     }
 
     /// Run until the event queue is empty.
@@ -274,13 +430,13 @@ impl Simulator {
     /// Run until the queue is empty or the next event is after `until`;
     /// then advance the clock to exactly `until`.
     ///
-    /// Events scheduled at exactly `until` are delivered.
+    /// Events scheduled at exactly `until` are delivered. The bound is
+    /// enforced with a single O(1) head comparison per event — the heap is
+    /// not re-searched between deliveries.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(ev) = self.heap.peek() {
-            if ev.at > until {
-                break;
-            }
-            self.step();
+        while self.queues.next_at().is_some_and(|at| at <= until) {
+            let (key, to, msg) = self.queues.pop_next().expect("next_at saw an event");
+            self.dispatch(key.at, to, msg);
         }
         debug_assert!(self.now <= until);
         self.now = until;
@@ -299,16 +455,76 @@ impl Simulator {
 
     /// `true` if no events remain.
     pub fn is_idle(&self) -> bool {
-        self.heap.is_empty()
+        self.queues.heap.is_empty() && self.queues.fast.is_empty()
     }
 }
 
-impl fmt::Debug for Simulator {
+/// Restore the heap property upward from `i` (4-ary: parent of `i` is
+/// `(i - 1) / 4`). Moves a hole instead of swapping: one store per level
+/// plus the final placement.
+#[inline]
+fn sift_up(heap: &mut [HeapEntry], mut i: usize) {
+    let entry = heap[i];
+    while i > 0 {
+        let parent = (i - 1) / 4;
+        if entry.key < heap[parent].key {
+            heap[i] = heap[parent];
+            i = parent;
+        } else {
+            break;
+        }
+    }
+    heap[i] = entry;
+}
+
+/// Restore the heap property downward from the root after placing `entry`
+/// there conceptually (children of `i` are `4i + 1 ..= 4i + 4`).
+#[inline]
+fn sift_down(heap: &mut [HeapEntry], entry: HeapEntry) {
+    let len = heap.len();
+    let mut i = 0;
+    loop {
+        let first = 4 * i + 1;
+        if first >= len {
+            break;
+        }
+        let last = (first + 4).min(len);
+        let mut min = first;
+        let mut min_key = heap[first].key;
+        for (offset, e) in heap[first + 1..last].iter().enumerate() {
+            if e.key < min_key {
+                min = first + 1 + offset;
+                min_key = e.key;
+            }
+        }
+        if min_key < entry.key {
+            heap[i] = heap[min];
+            i = min;
+        } else {
+            break;
+        }
+    }
+    heap[i] = entry;
+}
+
+/// Pop the minimum entry of the 4-ary heap.
+#[inline]
+fn pop_root(heap: &mut Vec<HeapEntry>) -> Option<HeapEntry> {
+    let last = heap.pop()?;
+    if heap.is_empty() {
+        return Some(last);
+    }
+    let root = heap[0];
+    sift_down(heap, last);
+    Some(root)
+}
+
+impl<M: Message> fmt::Debug for Simulator<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)
             .field("components", &self.components.len())
-            .field("pending_events", &self.heap.len())
+            .field("pending_events", &self.pending_events())
             .field("delivered", &self.delivered)
             .finish()
     }
@@ -321,15 +537,35 @@ mod tests {
     struct Echo {
         received: Vec<(SimTime, u32)>,
         reply_to: Option<ComponentId>,
+        reply_delay: SimTime,
     }
+
+    impl Echo {
+        fn sink() -> Self {
+            Echo {
+                received: vec![],
+                reply_to: None,
+                reply_delay: SimTime::ns(100),
+            }
+        }
+
+        fn replying(to: ComponentId) -> Self {
+            Echo {
+                received: vec![],
+                reply_to: Some(to),
+                reply_delay: SimTime::ns(100),
+            }
+        }
+    }
+
     struct Num(u32);
 
-    impl Component for Echo {
-        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-            let Num(n) = *msg.downcast::<Num>().expect("unexpected message type");
+    impl Component<Num> for Echo {
+        fn handle(&mut self, ctx: &mut Ctx<'_, Num>, msg: Num) {
+            let Num(n) = msg;
             self.received.push((ctx.now(), n));
             if let Some(to) = self.reply_to {
-                ctx.send(to, SimTime::ns(100), Num(n + 1));
+                ctx.send(to, self.reply_delay, Num(n + 1));
             }
         }
     }
@@ -337,10 +573,7 @@ mod tests {
     #[test]
     fn delivers_in_time_order() {
         let mut sim = Simulator::new();
-        let id = sim.add_component(Echo {
-            received: vec![],
-            reply_to: None,
-        });
+        let id = sim.add_component(Echo::sink());
         sim.schedule(SimTime::us(3), id, Num(3));
         sim.schedule(SimTime::us(1), id, Num(1));
         sim.schedule(SimTime::us(2), id, Num(2));
@@ -355,10 +588,7 @@ mod tests {
     #[test]
     fn same_instant_fifo_order() {
         let mut sim = Simulator::new();
-        let id = sim.add_component(Echo {
-            received: vec![],
-            reply_to: None,
-        });
+        let id = sim.add_component(Echo::sink());
         for n in 0..10 {
             sim.schedule(SimTime::us(5), id, Num(n));
         }
@@ -369,27 +599,98 @@ mod tests {
     }
 
     #[test]
+    fn same_instant_fifo_order_under_fast_path() {
+        // A fan-out chain built from zero-delay sends: one component
+        // relays each message to a sink at delay zero, twice. The fast
+        // queue must interleave with heap events without reordering any
+        // same-instant FIFO.
+        struct Relay {
+            to: ComponentId,
+        }
+        impl Component<Num> for Relay {
+            fn handle(&mut self, ctx: &mut Ctx<'_, Num>, Num(n): Num) {
+                ctx.send(self.to, SimTime::ZERO, Num(2 * n));
+                ctx.send(self.to, SimTime::ZERO, Num(2 * n + 1));
+            }
+        }
+        let mut sim = Simulator::new();
+        let sink = sim.reserve();
+        let relay = sim.add_component(Relay { to: sink });
+        sim.install(sink, Echo::sink());
+        for n in 0..8 {
+            // Mix of instants: four at t=1us, four at t=2us.
+            sim.schedule(SimTime::us(1 + u64::from(n) % 2), relay, Num(n));
+        }
+        sim.run();
+        let echo = sim.component::<Echo>(sink).unwrap();
+        let values: Vec<u32> = echo.received.iter().map(|&(_, n)| n).collect();
+        // t=1us carries inputs 0,2,4,6 in schedule order; t=2us carries
+        // 1,3,5,7. Each input n fans out to (2n, 2n+1) in send order.
+        assert_eq!(
+            values,
+            vec![0, 1, 4, 5, 8, 9, 12, 13, 2, 3, 6, 7, 10, 11, 14, 15]
+        );
+        // All instants visited in order.
+        assert!(echo.received.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // Same wiring and inputs => identical event count and final
+        // clock, run twice from scratch.
+        fn run_once() -> (u64, SimTime) {
+            let mut sim = Simulator::new();
+            let a = sim.reserve();
+            let b = sim.reserve();
+            sim.install(a, Echo::replying(b));
+            let mut eb = Echo::replying(a);
+            eb.reply_delay = SimTime::ns(70);
+            sim.install(b, eb);
+            for n in 0..5 {
+                sim.schedule(SimTime::ns(u64::from(n) * 13), a, Num(n));
+            }
+            sim.run_limited(5_000);
+            (sim.events_delivered(), sim.now())
+        }
+        let first = run_once();
+        let second = run_once();
+        assert_eq!(first, second);
+        assert_eq!(first.0, 5_000);
+    }
+
+    #[test]
+    fn arena_free_list_reuses_slots() {
+        // A two-party ping-pong keeps at most one event in flight, so the
+        // arena must stay at a single slot no matter how many events pass
+        // through the heap.
+        let mut sim = Simulator::new();
+        let a = sim.reserve();
+        let b = sim.reserve();
+        sim.install(a, Echo::replying(b));
+        sim.install(b, Echo::replying(a));
+        sim.schedule(SimTime::ZERO, a, Num(0));
+        let delivered = sim.run_limited(10_000);
+        assert_eq!(delivered, 10_000);
+        assert_eq!(
+            sim.arena_slots(),
+            1,
+            "steady one-in-flight load must not grow the arena"
+        );
+    }
+
+    #[test]
     fn ping_pong_between_components() {
         let mut sim = Simulator::new();
         let a = sim.reserve();
         let b = sim.reserve();
-        sim.install(
-            a,
-            Echo {
-                received: vec![],
-                reply_to: Some(b),
-            },
-        );
-        sim.install(
-            b,
-            Echo {
-                received: vec![],
-                reply_to: None,
-            },
-        );
+        sim.install(a, Echo::replying(b));
+        sim.install(b, Echo::sink());
         sim.schedule(SimTime::ZERO, a, Num(7));
         sim.run();
-        assert_eq!(sim.component::<Echo>(a).unwrap().received, vec![(SimTime::ZERO, 7)]);
+        assert_eq!(
+            sim.component::<Echo>(a).unwrap().received,
+            vec![(SimTime::ZERO, 7)]
+        );
         assert_eq!(
             sim.component::<Echo>(b).unwrap().received,
             vec![(SimTime::ns(100), 8)]
@@ -399,10 +700,7 @@ mod tests {
     #[test]
     fn run_until_stops_and_advances_clock() {
         let mut sim = Simulator::new();
-        let id = sim.add_component(Echo {
-            received: vec![],
-            reply_to: None,
-        });
+        let id = sim.add_component(Echo::sink());
         sim.schedule(SimTime::us(1), id, Num(1));
         sim.schedule(SimTime::us(10), id, Num(2));
         sim.run_until(SimTime::us(5));
@@ -416,10 +714,7 @@ mod tests {
     #[test]
     fn run_until_delivers_events_at_boundary() {
         let mut sim = Simulator::new();
-        let id = sim.add_component(Echo {
-            received: vec![],
-            reply_to: None,
-        });
+        let id = sim.add_component(Echo::sink());
         sim.schedule(SimTime::us(5), id, Num(1));
         sim.run_until(SimTime::us(5));
         assert_eq!(sim.component::<Echo>(id).unwrap().received.len(), 1);
@@ -431,20 +726,8 @@ mod tests {
         let mut sim = Simulator::new();
         let a = sim.reserve();
         let b = sim.reserve();
-        sim.install(
-            a,
-            Echo {
-                received: vec![],
-                reply_to: Some(b),
-            },
-        );
-        sim.install(
-            b,
-            Echo {
-                received: vec![],
-                reply_to: Some(a),
-            },
-        );
+        sim.install(a, Echo::replying(b));
+        sim.install(b, Echo::replying(a));
         sim.schedule(SimTime::ZERO, a, Num(0));
         let delivered = sim.run_limited(101);
         assert_eq!(delivered, 101);
@@ -454,10 +737,10 @@ mod tests {
     #[test]
     fn typed_access_rejects_wrong_type() {
         struct Other;
-        impl Component for Other {
-            fn handle(&mut self, _ctx: &mut Ctx<'_>, _msg: Box<dyn Any>) {}
+        impl Component<Num> for Other {
+            fn handle(&mut self, _ctx: &mut Ctx<'_, Num>, _msg: Num) {}
         }
-        let mut sim = Simulator::new();
+        let mut sim = Simulator::<Num>::new();
         let id = sim.add_component(Other);
         assert!(sim.component::<Echo>(id).is_none());
         assert!(sim.component::<Other>(id).is_some());
@@ -467,7 +750,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "uninstalled component")]
     fn sending_to_reserved_slot_panics() {
-        let mut sim = Simulator::new();
+        let mut sim = Simulator::<Num>::new();
         let id = sim.reserve();
         sim.schedule(SimTime::ZERO, id, Num(0));
         sim.run();
@@ -476,17 +759,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "already installed")]
     fn double_install_panics() {
+        let mut sim = Simulator::<Num>::new();
+        let id = sim.add_component(Echo::sink());
+        sim.install(id, Echo::sink());
+    }
+
+    #[test]
+    fn heap_stress_random_interleaving_stays_ordered() {
+        // Many events at pseudo-random times must still come out in
+        // (time, seq) order through the 4-ary heap.
         let mut sim = Simulator::new();
-        let id = sim.add_component(Echo {
-            received: vec![],
-            reply_to: None,
-        });
-        sim.install(
-            id,
-            Echo {
-                received: vec![],
-                reply_to: None,
-            },
-        );
+        let id = sim.add_component(Echo::sink());
+        let mut t = 1u64;
+        for n in 0..500u32 {
+            t = t.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            sim.schedule(SimTime::ns(t % 10_000), id, Num(n));
+        }
+        sim.run();
+        let echo = sim.component::<Echo>(id).unwrap();
+        assert_eq!(echo.received.len(), 500);
+        assert!(echo.received.windows(2).all(|w| w[0].0 <= w[1].0));
     }
 }

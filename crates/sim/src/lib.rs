@@ -10,32 +10,68 @@
 //! total order (time, then insertion sequence), and all randomness flows
 //! from explicitly seeded [`rng::Rng`] instances.
 //!
+//! ## Typed messages
+//!
+//! A [`Simulator<M>`] is generic over its **message type** `M`: one
+//! concrete type (usually an enum) carrying every payload the components
+//! of that simulation exchange. Messages travel inline through the event
+//! queue — no `Box`, no `dyn Any`, no downcasting — so the per-event cost
+//! is a slab write plus a 16-byte key insertion into a four-ary index
+//! heap, and same-instant sends skip the heap entirely.
+//!
+//! Each hardware crate defines a protocol enum for its own components
+//! (`bluedbm_flash::FlashMsg`, `bluedbm_net::NetMsg<B>`,
+//! `bluedbm_host::HostMsg<B>`) plus a protocol trait that any composed
+//! message type implements. The workspace-wide composition lives in
+//! `bluedbm_core::Msg`; single-subsystem simulations (unit tests,
+//! microbenches, network-only experiments) instantiate the kernel
+//! directly over the subsystem's own enum.
+//!
+//! ### Adding a new message variant
+//!
+//! 1. Define the payload struct and add a variant for it to the owning
+//!    crate's protocol enum (plus a `From<Payload>` impl for ergonomic
+//!    `ctx.send(to, delay, payload)` call sites).
+//! 2. Handle the variant in the receiving component's
+//!    [`Component::handle`] `match`; unknown variants should `panic!` —
+//!    they indicate mis-wiring, not a runtime condition.
+//! 3. If the payload must cross the workspace composition, add the
+//!    corresponding arm to `bluedbm_core::Msg`'s `From`/protocol impls.
+//!
 //! ## Example
 //!
 //! ```rust
 //! use bluedbm_sim::engine::{Component, Ctx, Simulator};
 //! use bluedbm_sim::time::SimTime;
-//! use std::any::Any;
 //!
-//! /// A component that counts the pings it receives.
+//! /// The message protocol of this little simulation.
+//! enum Msg {
+//!     Ping,
+//!     Pong { hops: u64 },
+//! }
+//!
+//! /// A component that answers pings.
 //! struct Counter { pings: u64 }
-//! struct Ping;
 //!
-//! impl Component for Counter {
-//!     fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-//!         if msg.downcast::<Ping>().is_ok() {
-//!             self.pings += 1;
+//! impl Component<Msg> for Counter {
+//!     fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+//!         match msg {
+//!             Msg::Ping => {
+//!                 self.pings += 1;
+//!                 ctx.send_self(SimTime::us(1), Msg::Pong { hops: self.pings });
+//!             }
+//!             Msg::Pong { .. } => {}
 //!         }
 //!     }
 //! }
 //!
 //! let mut sim = Simulator::new();
 //! let id = sim.add_component(Counter { pings: 0 });
-//! sim.schedule(SimTime::us(5), id, Ping);
-//! sim.schedule(SimTime::us(9), id, Ping);
+//! sim.schedule(SimTime::us(5), id, Msg::Ping);
+//! sim.schedule(SimTime::us(9), id, Msg::Ping);
 //! sim.run();
 //! assert_eq!(sim.component::<Counter>(id).unwrap().pings, 2);
-//! assert_eq!(sim.now(), SimTime::us(9));
+//! assert_eq!(sim.now(), SimTime::us(10)); // last ping's pong
 //! ```
 
 pub mod engine;
@@ -44,7 +80,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Component, ComponentId, Ctx, Simulator};
+pub use engine::{Component, ComponentId, Ctx, Message, Simulator};
 pub use resource::{MultiResource, SerialResource};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, MeanTracker, Throughput};

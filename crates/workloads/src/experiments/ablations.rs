@@ -10,15 +10,15 @@
 //! * **Integrated network vs host-mediated hops** — Section 6.4's
 //!   argument for overlapping storage and network access.
 
-use std::any::Any;
-
 use bluedbm_core::paths::{measure_path, AccessPath};
 use bluedbm_core::{Cluster, NodeId, SystemConfig};
-use bluedbm_flash::controller::{CtrlCmd, CtrlResp, FlashController, Tag};
+use bluedbm_flash::controller::{CtrlCmd, FlashController, Tag};
+use bluedbm_flash::msg::FlashMsg;
 use bluedbm_flash::{FlashArray, FlashGeometry, FlashTiming, Ppa};
 use bluedbm_ftl::ftl::{Ftl, FtlConfig};
+use bluedbm_net::msg::NetMsg;
 use bluedbm_net::packet::NetParams;
-use bluedbm_net::router::{build_network, NetRecv, NetSend, Router};
+use bluedbm_net::router::{build_network, NetSend, Router};
 use bluedbm_net::topology::Topology;
 use bluedbm_sim::engine::{Component, Ctx, Simulator};
 use bluedbm_sim::rng::Rng;
@@ -54,9 +54,9 @@ struct Collector {
     last: SimTime,
 }
 
-impl Component for Collector {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-        if msg.downcast::<CtrlResp>().is_ok() {
+impl Component<FlashMsg> for Collector {
+    fn handle(&mut self, ctx: &mut Ctx<'_, FlashMsg>, msg: FlashMsg) {
+        if matches!(msg, FlashMsg::Resp(_)) {
             self.done += 1;
             self.last = ctx.now();
         }
@@ -124,9 +124,11 @@ struct ByteSink {
     bytes: u64,
 }
 
-impl Component for ByteSink {
-    fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-        let r = msg.downcast::<NetRecv>().expect("NetRecv");
+impl Component<NetMsg<()>> for ByteSink {
+    fn handle(&mut self, _ctx: &mut Ctx<'_, NetMsg<()>>, msg: NetMsg<()>) {
+        let NetMsg::Recv(r) = msg else {
+            panic!("NetRecv expected")
+        };
         self.bytes += u64::from(r.payload_bytes);
     }
 }
@@ -145,7 +147,7 @@ pub fn credit_depth() -> Sweep {
             let topo = Topology::line(2, 1);
             let routers = build_network(&mut sim, &topo, params);
             let sink = sim.add_component(ByteSink { bytes: 0 });
-            sim.component_mut::<Router>(routers[1])
+            sim.component_mut::<Router<()>>(routers[1])
                 .unwrap()
                 .register_endpoint(0, sink);
             for _ in 0..400 {
@@ -207,15 +209,17 @@ pub fn over_provisioning() -> Sweep {
 /// its in-order convenience needs enough page buffers in flight to keep
 /// the out-of-order device busy.
 pub fn flash_server_depth() -> Sweep {
-    use bluedbm_flash::server::{FlashServer, ServerReq, ServerResp};
+    use bluedbm_flash::server::{FlashServer, ServerReq};
 
     struct InOrderSink {
         bytes: u64,
         last: SimTime,
     }
-    impl Component for InOrderSink {
-        fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-            let r = msg.downcast::<ServerResp>().expect("ServerResp");
+    impl Component<FlashMsg> for InOrderSink {
+        fn handle(&mut self, ctx: &mut Ctx<'_, FlashMsg>, msg: FlashMsg) {
+            let FlashMsg::ServerResp(r) = msg else {
+                panic!("ServerResp expected")
+            };
             if let Ok(data) = &r.result {
                 self.bytes += data.len() as u64;
                 self.last = ctx.now();

@@ -4,10 +4,9 @@
 //! lane** regardless of hop count (1–5 hops), with **0.48 µs latency per
 //! hop** (protocol overhead under 18% of the 10 Gbps line rate).
 
-use std::any::Any;
-
+use bluedbm_net::msg::NetMsg;
 use bluedbm_net::packet::NetParams;
-use bluedbm_net::router::{build_network, NetRecv, NetSend, Router};
+use bluedbm_net::router::{build_network, NetSend, Router};
 use bluedbm_net::topology::{NodeId, Topology};
 use bluedbm_sim::engine::{Component, ComponentId, Ctx, Simulator};
 use bluedbm_sim::time::SimTime;
@@ -38,22 +37,24 @@ struct Sink {
     count: u64,
 }
 
-impl Component for Sink {
-    fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Box<dyn Any>) {
-        let r = msg.downcast::<NetRecv>().expect("NetRecv");
+impl Component<NetMsg<()>> for Sink {
+    fn handle(&mut self, _ctx: &mut Ctx<'_, NetMsg<()>>, msg: NetMsg<()>) {
+        let NetMsg::Recv(r) = msg else {
+            panic!("NetRecv expected")
+        };
         self.bytes += u64::from(r.payload_bytes);
         self.last_latency = r.latency;
         self.count += 1;
     }
 }
 
-fn sink_on(sim: &mut Simulator, router: ComponentId, ep: u16) -> ComponentId {
+fn sink_on(sim: &mut Simulator<NetMsg<()>>, router: ComponentId, ep: u16) -> ComponentId {
     let sink = sim.add_component(Sink {
         bytes: 0,
         last_latency: SimTime::ZERO,
         count: 0,
     });
-    sim.component_mut::<Router>(router)
+    sim.component_mut::<Router<()>>(router)
         .unwrap()
         .register_endpoint(ep, sink);
     sink

@@ -59,10 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Map + combine on every node, at that node's flash bandwidth.
     let mut merged: HashMap<String, u64> = HashMap::new();
     let mut shuffle_bytes = 0usize;
-    for node in 0..4usize {
+    for (node, shard) in shard_addrs.iter().enumerate() {
         let mut engine = WordCountEngine::new();
         let t0 = cluster.now();
-        for (seq, &(addr, len)) in shard_addrs[node].iter().enumerate() {
+        for (seq, &(addr, len)) in shard.iter().enumerate() {
             let read = cluster.read_page_remote(NodeId::from(node), addr)?;
             engine.consume(seq as u64, &read.data[..len.max(1)]);
         }

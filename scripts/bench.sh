@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run the event-kernel criterion benches and record the results as JSON
+# lines in BENCH_engine.json, so successive PRs accumulate a perf
+# trajectory for the simulator itself.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_engine.json}"
+# cargo runs bench binaries with the package dir as cwd; hand the shim an
+# absolute path so results land at the workspace root.
+case "$out" in
+  /*) ;;
+  *) out="$(pwd)/$out" ;;
+esac
+
+# Fresh file per run; the criterion shim appends one JSON object per line.
+mkdir -p "$(dirname "$out")"
+: > "$out"
+
+export BLUEDBM_BENCH_JSON="$out"
+
+echo "== sim_throughput: typed kernel vs boxed baseline, cluster events/sec =="
+cargo bench -p bluedbm-bench --bench sim_throughput
+
+echo "== engines: ISP functional core throughput =="
+cargo bench -p bluedbm-bench --bench engines
+
+echo
+echo "results written to $out:"
+cat "$out"

@@ -1,0 +1,367 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness
+//! exposing the slice of the criterion 0.5 API this workspace uses.
+//!
+//! Differences from real criterion, by design:
+//!
+//! * statistics are mean / min / max over the samples — no bootstrap,
+//!   outlier classification or regression detection;
+//! * results print one line per benchmark and, when the
+//!   `BLUEDBM_BENCH_JSON` environment variable names a file, are appended
+//!   to it as JSON lines (`{"id":…,"ns_per_iter":…,…}`) so scripts can
+//!   track a perf trajectory without parsing stdout.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Work-amount annotation used to derive a rate from the per-iteration
+/// time.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (the shim times each
+/// routine call individually, so the hint is accepted and ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone (criterion's
+    /// `BenchmarkId::from_parameter`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An explicit function-name + parameter id.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark (also used to estimate iteration cost).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, id, None, f);
+        self
+    }
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration work amount for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(self.criterion, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; no cross-benchmark
+    /// state needs flushing in the shim).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; collects timed samples.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine` over repeated batched calls.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up doubles as iteration-cost estimation.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: at least one run, up to the warm-up budget.
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        self.samples.clear();
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let ns = t0.elapsed().as_nanos() as f64;
+            drop(std::hint::black_box(out));
+            self.samples.push(ns);
+            // Expensive setups (whole clusters) must not run unbounded:
+            // respect ~4x the measurement budget as a hard cap.
+            if measure_start.elapsed() > self.measurement_time * 4 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(c: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        sample_size: c.sample_size,
+        measurement_time: c.measurement_time,
+        warm_up_time: c.warm_up_time,
+        samples: Vec::with_capacity(c.sample_size),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples collected)");
+        return;
+    }
+    let n = b.samples.len() as f64;
+    let mean = b.samples.iter().sum::<f64>() / n;
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = b.samples.iter().cloned().fold(0.0f64, f64::max);
+
+    let rate = throughput.map(|t| {
+        let per_sec = match t {
+            Throughput::Bytes(bytes) => (bytes as f64) / (mean * 1e-9),
+            Throughput::Elements(elems) => (elems as f64) / (mean * 1e-9),
+        };
+        let label = match t {
+            Throughput::Bytes(_) => "B/s",
+            Throughput::Elements(_) => "elem/s",
+        };
+        (per_sec, label)
+    });
+
+    match rate {
+        Some((per_sec, label)) => println!(
+            "{id:<40} time: [{} {} {}]  thrpt: {:.4e} {label}",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            per_sec
+        ),
+        None => println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max)
+        ),
+    }
+
+    if let Ok(path) = std::env::var("BLUEDBM_BENCH_JSON") {
+        if !path.is_empty() {
+            let per_sec = rate.map(|(r, _)| r);
+            let line = format!(
+                "{{\"id\":\"{}\",\"ns_per_iter\":{:.3},\"ns_min\":{:.3},\"ns_max\":{:.3},\"throughput_per_sec\":{}}}\n",
+                id.replace('"', "'"),
+                mean,
+                min,
+                max,
+                per_sec.map_or("null".to_string(), |r| format!("{r:.3}")),
+            );
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = file.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} \u{b5}s", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+/// Re-export so `criterion::black_box` callers work (the workspace uses
+/// `std::hint::black_box` directly, but the symbol is part of the API).
+pub use std::hint::black_box;
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+/// `--test` (passed by `cargo test`) short-circuits to a no-op so test
+/// runs never pay for benchmarks.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

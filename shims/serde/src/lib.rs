@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace derives `Serialize` on result-record structs so that a
+//! networked build can emit JSON with the real serde; offline, the trait is
+//! a marker and the derive is a no-op. See `shims/README.md`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+// The derive macro and the trait share a name, exactly like real serde
+// (macros and traits live in different namespaces).
+pub use serde_derive::{Deserialize, Serialize};

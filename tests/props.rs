@@ -107,10 +107,10 @@ proptest! {
         let table = RoutingTable::compute(&topo);
         for src in 0..n {
             let dist = topo.distances_from(NodeId::from(src));
-            for dst in 0..n {
+            for (dst, &want) in dist.iter().enumerate().take(n) {
                 if src == dst { continue; }
                 let path = table.path(&topo, NodeId::from(src), NodeId::from(dst), endpoint);
-                prop_assert_eq!(path.len() as u32 - 1, dist[dst]);
+                prop_assert_eq!(path.len() as u32 - 1, want);
                 prop_assert_eq!(*path.last().unwrap(), NodeId::from(dst));
             }
         }
