@@ -15,11 +15,18 @@ use std::hint::black_box;
 
 use bluedbm_core::node::Consume;
 use bluedbm_core::{Cluster, NodeId, SystemConfig};
-use bluedbm_sim::engine::{Component, Ctx, Simulator};
+use bluedbm_net::topology::Topology as NetTopology;
+use bluedbm_sim::engine::{Batch, Component, ComponentId, Ctx, Simulator};
 use bluedbm_sim::time::SimTime;
 
 const CHAIN_EVENTS: u64 = 100_000;
 const SCATTER_EVENTS: u64 = 20_000;
+/// Same-component event-train shape: every round fires one burst of
+/// same-instant commands at a single sink — the command-forwarding train
+/// the batched dispatcher drains in one component borrow.
+const TRAIN_ROUNDS: u64 = 400;
+const TRAIN_LEN: u64 = 256;
+const TRAIN_EVENTS: u64 = TRAIN_ROUNDS * (TRAIN_LEN + 1);
 
 // ---------------------------------------------------------------------------
 // The pre-refactor kernel, preserved verbatim in miniature: one heap-boxed
@@ -73,6 +80,10 @@ mod boxed {
         pub fn send_self<M: Any>(&mut self, delay: SimTime, msg: M) {
             self.outbox
                 .push((self.now + delay, self.self_id, Box::new(msg)));
+        }
+
+        pub fn send<M: Any>(&mut self, to: ComponentId, delay: SimTime, msg: M) {
+            self.outbox.push((self.now + delay, to, Box::new(msg)));
         }
     }
 
@@ -239,6 +250,121 @@ impl boxed::Component for BoxedSink {
     }
 }
 
+/// Message shape of a train bench: `Tick` (zero-sized) isolates pure
+/// dispatch overhead, `Cmd` adds the realistic payload-transport cost.
+/// Static methods so handler bodies fully inline in both kernels.
+trait TrainShape: Sized + 'static {
+    fn make(i: u64) -> Self;
+    fn weigh(&self) -> u64;
+}
+
+impl TrainShape for Tick {
+    fn make(_: u64) -> Tick {
+        Tick
+    }
+    fn weigh(&self) -> u64 {
+        1
+    }
+}
+
+impl TrainShape for Cmd {
+    fn make(i: u64) -> Cmd {
+        Cmd([i; 8])
+    }
+    fn weigh(&self) -> u64 {
+        self.0[0]
+    }
+}
+
+/// Emits one train of `TRAIN_LEN` same-instant messages at the sink per
+/// round, re-arming itself 10ns later — the command-forwarding pattern
+/// (splitter fan-out, credit bursts) the batched dispatcher targets.
+struct TypedTrainSource<T> {
+    sink: ComponentId,
+    rounds_left: u64,
+    _shape: std::marker::PhantomData<T>,
+}
+
+impl<T: TrainShape> Component<T> for TypedTrainSource<T> {
+    fn handle(&mut self, ctx: &mut Ctx<'_, T>, _msg: T) {
+        for i in 0..TRAIN_LEN {
+            ctx.send(self.sink, SimTime::ZERO, T::make(i));
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            ctx.send_self(SimTime::ns(10), T::make(0));
+        }
+    }
+}
+
+/// Sink opting into [`Component::handle_batch`]: a whole train is
+/// consumed with one component fetch and one virtual call.
+struct TypedBatchSink<T> {
+    seen: u64,
+    _shape: std::marker::PhantomData<T>,
+}
+
+impl<T: TrainShape> Component<T> for TypedBatchSink<T> {
+    fn handle(&mut self, _ctx: &mut Ctx<'_, T>, msg: T) {
+        self.seen += msg.weigh();
+    }
+
+    fn handle_batch(&mut self, ctx: &mut Ctx<'_, T>, batch: &mut Batch<T>) {
+        while let Some(msg) = batch.next(ctx) {
+            self.seen += msg.weigh();
+        }
+    }
+}
+
+struct BoxedTrainSink<T> {
+    seen: u64,
+    _shape: std::marker::PhantomData<T>,
+}
+
+impl<T: TrainShape> boxed::Component for BoxedTrainSink<T> {
+    fn handle(&mut self, _ctx: &mut boxed::Ctx<'_>, msg: Box<dyn std::any::Any>) {
+        let m = msg.downcast::<T>().expect("train message");
+        self.seen += m.weigh();
+    }
+}
+
+struct BoxedTrainSource<T> {
+    sink: boxed::ComponentId,
+    rounds_left: u64,
+    _shape: std::marker::PhantomData<T>,
+}
+
+impl<T: TrainShape> boxed::Component for BoxedTrainSource<T> {
+    fn handle(&mut self, ctx: &mut boxed::Ctx<'_>, _msg: Box<dyn std::any::Any>) {
+        for i in 0..TRAIN_LEN {
+            ctx.send(self.sink, SimTime::ZERO, T::make(i));
+        }
+        if self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            ctx.send_self(SimTime::ns(10), T::make(0));
+        }
+    }
+}
+
+fn typed_train_setup<T: TrainShape>() -> Simulator<T> {
+    let mut sim = Simulator::with_capacity(TRAIN_LEN as usize + 8);
+    let sink = sim.reserve();
+    let source = sim.add_component(TypedTrainSource::<T> {
+        sink,
+        rounds_left: TRAIN_ROUNDS - 1,
+        _shape: std::marker::PhantomData,
+    });
+    sim.install(
+        sink,
+        TypedBatchSink::<T> {
+            seen: 0,
+            _shape: std::marker::PhantomData,
+        },
+    );
+    sim.schedule(SimTime::ZERO, source, T::make(0));
+    sim
+}
+
 fn pseudo_delays(n: u64) -> impl Iterator<Item = SimTime> {
     let mut x = 0x9e3779b97f4a7c15u64;
     (0..n).map(move |_| {
@@ -379,6 +505,71 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+/// Same-component event trains: the batched dispatcher (`run()`) vs the
+/// per-event dispatcher (`step()`, the PR-1 typed kernel's only mode) vs
+/// the boxed seed kernel, on one identical burst workload per message
+/// shape.
+///
+/// `typed_per_event` is the baseline the batched path must beat by the
+/// acceptance bar (>=1.2x events/sec on the dispatch-bound tick shape):
+/// same queues, same arena — the only difference is one component fetch +
+/// virtual call per train instead of per event. The cmd shape shows the
+/// payload-transport-bound margin alongside.
+fn bench_trains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_kernel_train");
+    g.throughput(Throughput::Elements(TRAIN_EVENTS));
+    bench_train_shape::<Tick>(&mut g, "tick");
+    bench_train_shape::<Cmd>(&mut g, "cmd");
+    g.finish();
+}
+
+fn bench_train_shape<T: TrainShape>(g: &mut criterion::BenchmarkGroup<'_>, shape: &str) {
+    let name = format!("{shape}_burst_{TRAIN_LEN}x{TRAIN_ROUNDS}");
+    g.bench_function(&format!("typed_batched/{name}"), |b| {
+        b.iter_batched(
+            typed_train_setup::<T>,
+            |mut sim| {
+                sim.run();
+                black_box(sim.events_delivered())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function(&format!("typed_per_event/{name}"), |b| {
+        b.iter_batched(
+            typed_train_setup::<T>,
+            |mut sim| {
+                while sim.step() {}
+                black_box(sim.events_delivered())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function(&format!("boxed/{name}"), |b| {
+        b.iter_batched(
+            || {
+                let mut sim = boxed::Simulator::new();
+                let sink = sim.add_component(BoxedTrainSink::<T> {
+                    seen: 0,
+                    _shape: std::marker::PhantomData,
+                });
+                let source = sim.add_component(BoxedTrainSource::<T> {
+                    sink,
+                    rounds_left: TRAIN_ROUNDS - 1,
+                    _shape: std::marker::PhantomData,
+                });
+                sim.schedule(SimTime::ZERO, source, T::make(0));
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                black_box(sim.events_delivered())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 /// The fig13 shape: a stream of remote ISP reads between two paper-config
 /// nodes over one lane — the whole flash + splitter + agent + router +
 /// PCIe message plumbing, reported as simulated events per second.
@@ -417,11 +608,50 @@ fn fig13_setup(reads: usize) -> (Cluster, Vec<bluedbm_core::GlobalPageAddr>) {
     (cluster, addrs)
 }
 
+/// Bigger-than-paper scale: an 8x8 mesh — 64 nodes against the paper's
+/// 20-node rack — with node 0 streaming remote reads scattered across
+/// every other node, so traffic crosses the whole fabric.
+fn bench_mesh_scale(c: &mut Criterion) {
+    let events_per_run = {
+        let (mut cluster, addrs) = mesh8x8_setup();
+        let before = cluster.sim_mut().events_delivered();
+        cluster.stream_reads(NodeId(0), &addrs, Consume::Isp);
+        cluster.sim_mut().events_delivered() - before
+    };
+    let mut g = c.benchmark_group("sim_throughput");
+    g.throughput(Throughput::Elements(events_per_run));
+    g.bench_function("mesh8x8_scatter_stream_events", |b| {
+        b.iter_batched(
+            mesh8x8_setup,
+            |(mut cluster, addrs)| {
+                let done = cluster.stream_reads(NodeId(0), &addrs, Consume::Isp);
+                black_box(done.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn mesh8x8_setup() -> (Cluster, Vec<bluedbm_core::GlobalPageAddr>) {
+    const READS_PER_NODE: usize = 3;
+    let config = SystemConfig::scaled_down();
+    let mut cluster = Cluster::new(NetTopology::mesh2d(8, 8), &config).unwrap();
+    let page = vec![0u8; config.flash.geometry.page_bytes];
+    let mut addrs = Vec::new();
+    for node in 1..cluster.node_count() {
+        for _ in 0..READS_PER_NODE {
+            addrs.push(cluster.preload_page(NodeId::from(node), &page).unwrap());
+        }
+    }
+    (cluster, addrs)
+}
+
 criterion_group! {
     name = benches;
     // Short sampling: these are smoke-level performance numbers, and the
     // full suite must run in CI time.
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_kernels, bench_cluster_events
+    targets = bench_kernels, bench_trains, bench_cluster_events, bench_mesh_scale
 }
 criterion_main!(benches);

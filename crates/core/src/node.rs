@@ -19,7 +19,7 @@ use bluedbm_host::pcie::{Direction, PcieXfer};
 use bluedbm_net::msg::NetMsg;
 use bluedbm_net::router::{NetRecv, NetSend};
 use bluedbm_net::topology::NodeId;
-use bluedbm_sim::engine::{Component, ComponentId, Ctx};
+use bluedbm_sim::engine::{Batch, Component, ComponentId, Ctx};
 use bluedbm_sim::time::SimTime;
 
 use crate::msg::{Msg, NetBody};
@@ -543,8 +543,10 @@ impl NodeAgent {
     }
 }
 
-impl Component<Msg> for NodeAgent {
-    fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+impl NodeAgent {
+    /// Per-message logic shared by [`Component::handle`] and the batch
+    /// hook.
+    fn handle_msg(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
         match msg {
             Msg::Op(op) => self.handle_op(ctx, op),
             Msg::Flash(FlashMsg::Resp(resp)) => self.handle_ctrl_resp(ctx, resp),
@@ -569,6 +571,23 @@ impl Component<Msg> for NodeAgent {
                 self.complete(ctx.now(), op_id, addr, Ok(done.body), start);
             }
             other => panic!("node agent got an unexpected message: {other:?}"),
+        }
+    }
+}
+
+impl Component<Msg> for NodeAgent {
+    fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+        self.handle_msg(ctx, msg);
+    }
+
+    /// Explicit batch adoption: the experiment drivers inject whole read
+    /// streams at one instant, and those [`AgentOp`] trains drain in one
+    /// borrow. Equivalent to the default today — kept as the landing
+    /// spot for train-level hoists (tag preallocation, completion-vec
+    /// reservation).
+    fn handle_batch(&mut self, ctx: &mut Ctx<'_, Msg>, batch: &mut Batch<Msg>) {
+        while let Some(msg) = batch.next(ctx) {
+            self.handle_msg(ctx, msg);
         }
     }
 }

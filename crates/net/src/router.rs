@@ -21,7 +21,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use bluedbm_sim::engine::{Component, ComponentId, Ctx, Simulator};
+use bluedbm_sim::engine::{Batch, Component, ComponentId, Ctx, Simulator};
 use bluedbm_sim::resource::SerialResource;
 use bluedbm_sim::stats::Histogram;
 use bluedbm_sim::time::SimTime;
@@ -187,6 +187,14 @@ impl<B: 'static> Router<B> {
         &self.stats
     }
 
+    /// Number of wire flows this router has opened as a sender (distinct
+    /// `(endpoint, destination)` pairs it has stamped sequence numbers
+    /// for). Loopback sends never open a flow; exposed for diagnostics
+    /// and the regression tests guarding that.
+    pub fn send_flows(&self) -> usize {
+        self.next_seq.len()
+    }
+
     /// This router's node id.
     pub fn node(&self) -> NodeId {
         self.node
@@ -316,9 +324,29 @@ impl<B: 'static> Router<B> {
     where
         M: NetProtocol<Body = B>,
     {
+        if send.dst == self.node {
+            // Loopback through the internal switch: no wire time, and no
+            // flow state — loopback is not part of any wire flow, so it
+            // must not grow a `next_seq` counter it never uses.
+            if let Some(&consumer) = self.endpoints.get(&send.endpoint) {
+                ctx.send(
+                    consumer,
+                    SimTime::ZERO,
+                    NetMsg::Recv(NetRecv {
+                        src: self.node,
+                        endpoint: send.endpoint,
+                        seq: 0,
+                        payload_bytes: send.payload_bytes,
+                        latency: SimTime::ZERO,
+                        body: send.body,
+                    }),
+                );
+            }
+            return;
+        }
         let seq_key = (send.endpoint, send.dst);
         let seq = self.next_seq.entry(seq_key).or_insert(0);
-        let mut packet = Packet {
+        let packet = Packet {
             src: self.node,
             dst: send.dst,
             endpoint: send.endpoint,
@@ -327,25 +355,6 @@ impl<B: 'static> Router<B> {
             body: send.body,
         };
         *seq += 1;
-        if packet.dst == self.node {
-            // Loopback through the internal switch: no wire time.
-            packet.seq = 0; // loopback is not part of any wire flow
-            if let Some(&consumer) = self.endpoints.get(&packet.endpoint) {
-                ctx.send(
-                    consumer,
-                    SimTime::ZERO,
-                    NetMsg::Recv(NetRecv {
-                        src: packet.src,
-                        endpoint: packet.endpoint,
-                        seq: packet.seq,
-                        payload_bytes: packet.payload_bytes,
-                        latency: SimTime::ZERO,
-                        body: packet.body,
-                    }),
-                );
-            }
-            return;
-        }
         let wants_ack = self.e2e_credits.contains_key(&packet.endpoint);
         self.route_or_deliver(
             ctx,
@@ -360,9 +369,14 @@ impl<B: 'static> Router<B> {
     }
 }
 
-impl<M: NetProtocol> Component<M> for Router<M::Body> {
-    fn handle(&mut self, ctx: &mut Ctx<'_, M>, msg: M) {
-        match msg.into_net() {
+impl<B: 'static> Router<B> {
+    /// Per-message logic shared by [`Component::handle`] and the batch
+    /// hook.
+    fn handle_net<M>(&mut self, ctx: &mut Ctx<'_, M>, msg: NetMsg<B>)
+    where
+        M: NetProtocol<Body = B>,
+    {
+        match msg {
             NetMsg::Send(send) => {
                 self.stats.injected += 1;
                 if send.dst != self.node {
@@ -405,6 +419,22 @@ impl<M: NetProtocol> Component<M> for Router<M::Body> {
                 }
             }
             other => panic!("router got an unexpected message: {}", other.kind()),
+        }
+    }
+}
+
+impl<M: NetProtocol> Component<M> for Router<M::Body> {
+    fn handle(&mut self, ctx: &mut Ctx<'_, M>, msg: M) {
+        self.handle_net(ctx, msg.into_net());
+    }
+
+    /// Explicit batch adoption: bursts of same-instant injections and
+    /// the credit/wire trains of a saturated lane drain in one borrow.
+    /// Equivalent to the default today — kept as the landing spot for
+    /// train-level hoists (per-flow state lookups, egress grouping).
+    fn handle_batch(&mut self, ctx: &mut Ctx<'_, M>, batch: &mut Batch<M>) {
+        while let Some(msg) = batch.next(ctx) {
+            self.handle_net(ctx, msg.into_net());
         }
     }
 }
@@ -691,6 +721,46 @@ mod tests {
         assert_eq!(s.got.len(), 1);
         assert_eq!(s.got[0].2, SimTime::ZERO);
         assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn loopback_burst_allocates_no_flow_state() {
+        // A burst of loopback sends must not grow per-flow sequence
+        // counters (the old inject stamped `(endpoint, self)` flow state
+        // and then discarded the stamp), and a wire flow to the same
+        // endpoint opened afterwards must still start at seq 0.
+        let mut sim = Simulator::new();
+        let topo = Topology::line(2, 1);
+        let routers = build_network(&mut sim, &topo, NetParams::paper());
+        let local = sink_on(&mut sim, &routers, 0, 5);
+        let remote = sink_on(&mut sim, &routers, 1, 5);
+        for _ in 0..10 {
+            sim.schedule(
+                SimTime::ZERO,
+                routers[0],
+                NetSend::new(NodeId(0), 5, 256, ()),
+            );
+        }
+        sim.run();
+        let r0 = sim.component::<Router<()>>(routers[0]).unwrap();
+        assert_eq!(r0.send_flows(), 0, "loopback must not open a wire flow");
+        let s = sim.component::<Sink>(local).unwrap();
+        assert_eq!(s.got.len(), 10);
+        assert!(s.got.iter().all(|&(_, seq, _)| seq == 0));
+
+        sim.schedule(
+            SimTime::ZERO,
+            routers[0],
+            NetSend::new(NodeId(1), 5, 256, ()),
+        );
+        sim.run();
+        let s = sim.component::<Sink>(remote).unwrap();
+        assert_eq!(s.got.len(), 1);
+        assert_eq!(s.got[0].1, 0, "first wire packet of the flow is seq 0");
+        let r0 = sim.component::<Router<()>>(routers[0]).unwrap();
+        assert_eq!(r0.send_flows(), 1, "exactly the one remote flow");
+        let r1 = sim.component::<Router<()>>(routers[1]).unwrap();
+        assert_eq!(r1.stats().order_violations, 0);
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! The flattened component arena backing a [`Simulator`]'s component
+//! table.
+//!
+//! Components are heterogeneous trait objects, so each one necessarily
+//! lives behind its own `Box`; what the arena flattens away is everything
+//! *around* the box. The seed kernel stored `Vec<Option<Box<dyn
+//! Component>>>` and the dispatcher `take()`-moved the component out of
+//! its slot for the duration of every handler call (to split the borrow
+//! against the event queues), writing it back afterwards — two `Option`
+//! moves plus a discriminant check on the hottest line of the simulator.
+//!
+//! [`ComponentArena`] stores the boxes **densely**: every slot always
+//! holds an installed component, with reserved-but-uninstalled slots
+//! occupied by a [`Vacant`] sentinel that panics on delivery. Fetching
+//! the component for dispatch is a single bounds-checked index returning
+//! `&mut dyn Component<M>`; the borrow split against the event queues is
+//! expressed through disjoint `Simulator` fields instead of moving state.
+//! Indices are stable for the lifetime of the simulation (components are
+//! never removed), and iteration walks a contiguous `Vec` of thin
+//! pointers.
+//!
+//! The arena speaks raw `usize` indices; [`Simulator`] wraps them in
+//! [`ComponentId`](crate::engine::ComponentId)s at its public surface.
+//!
+//! [`Simulator`]: crate::engine::Simulator
+
+use std::any::Any;
+
+use crate::engine::{Component, Ctx, Message};
+
+/// Sentinel occupying a reserved slot until [`ComponentArena::install`]
+/// replaces it. Delivery to a vacant slot is a wiring bug and panics.
+struct Vacant;
+
+impl<M: Message> Component<M> for Vacant {
+    fn handle(&mut self, ctx: &mut Ctx<'_, M>, _msg: M) {
+        panic!(
+            "message sent to uninstalled component {:?}",
+            ctx.self_id()
+        );
+    }
+}
+
+/// Dense, stable-index storage for a simulation's components.
+pub(crate) struct ComponentArena<M: Message> {
+    entries: Vec<Box<dyn Component<M>>>,
+}
+
+impl<M: Message> ComponentArena<M> {
+    pub(crate) fn new() -> Self {
+        ComponentArena {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of slots (installed + reserved).
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Append an installed component; returns its stable index.
+    pub(crate) fn add(&mut self, component: Box<dyn Component<M>>) -> usize {
+        self.entries.push(component);
+        self.entries.len() - 1
+    }
+
+    /// Append a vacant slot; returns its stable index.
+    pub(crate) fn reserve(&mut self) -> usize {
+        self.entries.push(Box::new(Vacant));
+        self.entries.len() - 1
+    }
+
+    /// `true` if `index` exists and still holds the [`Vacant`] sentinel.
+    pub(crate) fn is_vacant(&self, index: usize) -> bool {
+        self.entries
+            .get(index)
+            .is_some_and(|c| (c.as_ref() as &dyn Any).is::<Vacant>())
+    }
+
+    /// Install a component into a reserved slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already installed (or out of range).
+    pub(crate) fn install(&mut self, index: usize, component: Box<dyn Component<M>>) {
+        assert!(
+            self.is_vacant(index),
+            "component slot c{index} already installed"
+        );
+        self.entries[index] = component;
+    }
+
+    /// The hot-path fetch: one bounds-checked index, no `Option` moves.
+    /// Vacant slots are returned as the sentinel, whose handler panics
+    /// with the uninstalled-component diagnostic on delivery.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, index: usize) -> &mut dyn Component<M> {
+        self.entries[index].as_mut()
+    }
+
+    /// Shared access, `None` when out of range. Vacant slots come back as
+    /// the sentinel; callers downcasting to a concrete type observe them
+    /// as absent, exactly like the old `Option` table.
+    #[inline]
+    pub(crate) fn get(&self, index: usize) -> Option<&dyn Component<M>> {
+        self.entries.get(index).map(|c| c.as_ref())
+    }
+
+    /// Exclusive access, `None` when out of range.
+    #[inline]
+    pub(crate) fn get_mut_checked(&mut self, index: usize) -> Option<&mut dyn Component<M>> {
+        self.entries.get_mut(index).map(|c| c.as_mut())
+    }
+
+    /// Dense iteration over every slot in index order (vacant slots
+    /// included, as the sentinel).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &dyn Component<M>> {
+        self.entries.iter().map(|c| c.as_ref())
+    }
+
+    /// Number of slots holding a real component (dense sweep; excludes
+    /// reserved-but-uninstalled slots).
+    pub(crate) fn installed_count(&self) -> usize {
+        self.iter()
+            .filter(|c| !(*c as &dyn Any).is::<Vacant>())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Unit(u32);
+    impl Component<u32> for Unit {
+        fn handle(&mut self, _ctx: &mut Ctx<'_, u32>, msg: u32) {
+            self.0 += msg;
+        }
+    }
+
+    #[test]
+    fn add_reserve_install_lifecycle() {
+        let mut arena = ComponentArena::<u32>::new();
+        let a = arena.add(Box::new(Unit(0)));
+        let r = arena.reserve();
+        assert_eq!((a, r), (0, 1));
+        assert!(!arena.is_vacant(a));
+        assert!(arena.is_vacant(r));
+        arena.install(r, Box::new(Unit(7)));
+        assert!(!arena.is_vacant(r));
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already installed")]
+    fn double_install_rejected() {
+        let mut arena = ComponentArena::<u32>::new();
+        let r = arena.reserve();
+        arena.install(r, Box::new(Unit(0)));
+        arena.install(r, Box::new(Unit(1)));
+    }
+
+    #[test]
+    fn dense_iteration_visits_every_slot_in_order() {
+        let mut arena = ComponentArena::<u32>::new();
+        arena.add(Box::new(Unit(0)));
+        arena.reserve();
+        arena.add(Box::new(Unit(2)));
+        let kinds: Vec<bool> = (0..arena.len())
+            .map(|i| arena.is_vacant(i))
+            .collect();
+        assert_eq!(kinds, vec![false, true, false]);
+        assert_eq!(arena.iter().count(), 3);
+        assert_eq!(arena.installed_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_is_none_not_panic() {
+        let mut arena = ComponentArena::<u32>::new();
+        assert!(arena.get(3).is_none());
+        assert!(arena.get_mut_checked(3).is_none());
+        assert!(!arena.is_vacant(3));
+    }
+}

@@ -19,20 +19,37 @@
 //!
 //! * pending events live in a **slab arena** (`Vec` + free list) that is
 //!   reused for the whole run, and the priority queue itself is a
-//!   **four-ary index heap** of small `(time, seq, slot)` keys — sifting
-//!   moves 16-byte keys, never payloads, and the shallower 4-ary tree
-//!   halves the pointer-chasing depth of a binary heap;
+//!   **four-ary index heap** of small `(time, seq, slot)` entries — a
+//!   64-bit time, a 64-bit sequence number and a 32-bit slot index, 24
+//!   bytes per entry after alignment — so sifting moves those fixed-size
+//!   entries, never payloads, and the shallower 4-ary tree halves the
+//!   pointer-chasing depth of a binary heap;
 //! * **same-instant sends** (`delay == 0`, the dominant pattern in
 //!   command-forwarding chains) bypass the heap entirely through a FIFO
 //!   fast queue: because a handler's sends always carry the newest
 //!   sequence numbers at the current instant, appending to that queue
 //!   keeps it globally sorted by `(time, seq)` and the dispatcher only
-//!   has to compare its head with the heap root.
+//!   has to compare its head with the heap root;
+//! * components live in a **flattened arena** (see [`crate::arena`]):
+//!   every slot always holds an installed component (reserved slots hold
+//!   a panicking sentinel), so the dispatcher's component fetch is a
+//!   single bounds-checked index — no `Option` discriminant, no
+//!   move-out/move-back around the handler call;
+//! * [`Simulator::run`] and [`Simulator::run_until`] use **batched
+//!   dispatch**: when consecutive queue heads target the same component
+//!   at the same instant (a command-forwarding *train*), the whole train
+//!   is drained in one borrow of that component — one arena fetch and one
+//!   virtual call per train instead of per event. Components opt into
+//!   train-level processing via [`Component::handle_batch`]; the default
+//!   implementation falls back to per-message [`Component::handle`], so
+//!   batching is transparent to existing models and never changes
+//!   delivery order.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
 
+use crate::arena::ComponentArena;
 use crate::time::SimTime;
 
 /// Marker for types usable as a simulation's message type. Blanket-implemented
@@ -75,6 +92,80 @@ pub trait Component<M: Message>: Any {
     /// bug, not a runtime condition, so models here `panic!` loudly on
     /// them.
     fn handle(&mut self, ctx: &mut Ctx<'_, M>, msg: M);
+
+    /// Opt-in hook for **batched dispatch**: process a train of messages
+    /// all delivered to this component at `ctx.now()`, in delivery order.
+    ///
+    /// The dispatcher calls this (instead of per-message [`handle`])
+    /// whenever consecutive queue heads target the same component at the
+    /// same instant, so hot components can hoist per-message overhead
+    /// (the `match` on the protocol enum, field reloads) out of the inner
+    /// loop. [`Batch::next`] yields messages lazily, straight off the
+    /// event queues — there is no intermediate train buffer — so
+    /// zero-delay self-sends emitted *while* draining join the running
+    /// train when they are globally next. Implementations must process
+    /// messages in yield order; they may stop early — whatever they leave
+    /// stays queued and is dispatched normally, so semantics never depend
+    /// on how much of the train a component consumes.
+    ///
+    /// The default implementation is exactly the per-message fallback,
+    /// which makes batching behaviourally invisible to components that do
+    /// not opt in.
+    ///
+    /// [`handle`]: Component::handle
+    fn handle_batch(&mut self, ctx: &mut Ctx<'_, M>, batch: &mut Batch<M>) {
+        while let Some(msg) = batch.next(ctx) {
+            self.handle(ctx, msg);
+        }
+    }
+}
+
+/// A train of same-instant messages addressed to one component, handed to
+/// [`Component::handle_batch`]. [`next`](Batch::next) lazily pops the
+/// globally next event off the queues for as long as it continues the
+/// train (same instant, same component), so a train is consumed with zero
+/// buffering or copying.
+pub struct Batch<M: Message> {
+    to: ComponentId,
+    /// The already-popped event that opened the train.
+    head: Option<M>,
+    /// Fast-queue events already verified to continue the train: while
+    /// this run lasts, [`next`](Batch::next) is a bare `pop_front` — the
+    /// train-match comparison is amortized to one scan per run.
+    run: usize,
+    /// Messages yielded so far (the dispatcher's delivery accounting).
+    taken: u64,
+}
+
+impl<M: Message> Batch<M> {
+    /// The next message of the train, or `None` once the globally next
+    /// event no longer continues it. Takes the `Ctx` because the train is
+    /// read straight off the queues the context also schedules into.
+    #[inline]
+    pub fn next(&mut self, ctx: &mut Ctx<'_, M>) -> Option<M> {
+        if let Some(m) = self.head.take() {
+            self.taken += 1;
+            return Some(m);
+        }
+        if self.run > 0 {
+            // Pre-verified by the last scan: pop without re-comparing.
+            self.run -= 1;
+            self.taken += 1;
+            let f = ctx.queues.fast.pop_front().expect("scanned run entry");
+            return Some(f.msg);
+        }
+        self.run = ctx.queues.scan_fast_run(ctx.now, self.to);
+        if self.run > 0 {
+            self.run -= 1;
+            self.taken += 1;
+            let f = ctx.queues.fast.pop_front().expect("scanned run entry");
+            return Some(f.msg);
+        }
+        // No fast run: the train continues only if the heap root matches.
+        let msg = ctx.queues.pop_heap_if(ctx.now, self.to);
+        self.taken += msg.is_some() as u64;
+        msg
+    }
 }
 
 /// Total delivery order: time first, then scheduling sequence. `seq` is
@@ -115,9 +206,9 @@ const NO_SLOT: u32 = u32::MAX;
 /// The event queues: the four-ary index heap + payload arena for future
 /// events, and the FIFO fast queue for same-instant ones. Split out of
 /// [`Simulator`] so a running handler's [`Ctx`] can push events directly
-/// (the executing component is temporarily moved out of the component
-/// table, so no aliasing is possible) — each send is a single inline
-/// move, with no intermediate outbox copy.
+/// (the queues and the component arena are disjoint `Simulator` fields,
+/// so the executing component's `&mut` borrow never aliases them) — each
+/// send is a single inline move, with no intermediate outbox copy.
 struct Queues<M> {
     /// Four-ary min-heap of `(key, slot)` entries.
     heap: Vec<HeapEntry>,
@@ -209,6 +300,75 @@ impl<M: Message> Queues<M> {
         }
     }
 
+    /// Destination of the event stored in `slot` (which must be full).
+    #[inline]
+    fn slot_target(&self, slot: u32) -> ComponentId {
+        match self.slots[slot as usize] {
+            Slot::Full { to, .. } => to,
+            Slot::Free { .. } => unreachable!("heap entry points at a free slot"),
+        }
+    }
+
+    /// `true` if the globally next event is addressed to `to` at exactly
+    /// `at` — the train-extension test of the batched dispatcher.
+    #[inline]
+    fn next_matches(&self, at: SimTime, to: ComponentId) -> bool {
+        match (self.fast.front(), self.heap.first()) {
+            (None, None) => false,
+            (Some(f), None) => f.key.at == at && f.to == to,
+            (None, Some(h)) => h.key.at == at && self.slot_target(h.slot) == to,
+            (Some(f), Some(h)) => {
+                if f.key <= h.key {
+                    f.key.at == at && f.to == to
+                } else {
+                    h.key.at == at && self.slot_target(h.slot) == to
+                }
+            }
+        }
+    }
+
+    /// Count the prefix of fast-queue events that continue the `(at,
+    /// to)` train: addressed to `to` and globally next, i.e. ordered
+    /// before the heap root. Fast-queue entries all sit at the current
+    /// instant, so only a heap root at the same instant (with an older
+    /// sequence number) can order ahead of them.
+    fn scan_fast_run(&self, at: SimTime, to: ComponentId) -> usize {
+        let seq_limit = match self.heap.first() {
+            Some(h) => {
+                debug_assert!(h.key.at >= at, "heap root precedes the current instant");
+                if h.key.at == at {
+                    h.key.seq
+                } else {
+                    u64::MAX
+                }
+            }
+            None => u64::MAX,
+        };
+        self.fast
+            .iter()
+            .take_while(|f| f.to == to && f.key.seq < seq_limit && f.key.at == at)
+            .count()
+    }
+
+    /// Pop the heap root only if it is globally next and continues the
+    /// `(at, to)` train. Callers drain the matching fast run first; a
+    /// fast-queue head that is still pending here either precedes the
+    /// root (train over) or follows it (root may continue the train).
+    fn pop_heap_if(&mut self, at: SimTime, to: ComponentId) -> Option<M> {
+        let h = self.heap.first()?;
+        if h.key.at != at || self.slot_target(h.slot) != to {
+            return None;
+        }
+        if let Some(f) = self.fast.front() {
+            if f.key < h.key {
+                return None;
+            }
+        }
+        let e = pop_root(&mut self.heap).expect("checked non-empty");
+        let (_, msg) = self.take_slot(e.slot);
+        Some(msg)
+    }
+
     /// Timestamp of the next pending event, if any.
     #[inline]
     fn next_at(&self) -> Option<SimTime> {
@@ -269,7 +429,7 @@ pub struct Simulator<M: Message> {
     now: SimTime,
     delivered: u64,
     queues: Queues<M>,
-    components: Vec<Option<Box<dyn Component<M>>>>,
+    components: ComponentArena<M>,
 }
 
 impl<M: Message> Default for Simulator<M> {
@@ -291,7 +451,7 @@ impl<M: Message> Simulator<M> {
             now: SimTime::ZERO,
             delivered: 0,
             queues: Queues::with_capacity(events),
-            components: Vec::new(),
+            components: ComponentArena::new(),
         }
     }
 
@@ -308,10 +468,16 @@ impl<M: Message> Simulator<M> {
         self.delivered
     }
 
-    /// Number of registered components.
+    /// Number of registered components (installed + reserved slots).
     #[inline]
     pub fn component_count(&self) -> usize {
         self.components.len()
+    }
+
+    /// Number of slots whose component is actually installed (a dense
+    /// arena sweep; reserved-but-empty slots are excluded).
+    pub fn installed_components(&self) -> usize {
+        self.components.installed_count()
     }
 
     /// Events currently pending (heap plus fast queue).
@@ -330,9 +496,7 @@ impl<M: Message> Simulator<M> {
 
     /// Register a component and return its id.
     pub fn add_component<C: Component<M>>(&mut self, component: C) -> ComponentId {
-        let id = ComponentId(self.components.len());
-        self.components.push(Some(Box::new(component)));
-        id
+        ComponentId(self.components.add(Box::new(component)))
     }
 
     /// Reserve an id without installing a component yet.
@@ -341,9 +505,7 @@ impl<M: Message> Simulator<M> {
     /// id, the link needs the switch's); reserving ids first breaks the
     /// cycle. Sending to a reserved-but-uninstalled id panics at delivery.
     pub fn reserve(&mut self) -> ComponentId {
-        let id = ComponentId(self.components.len());
-        self.components.push(None);
-        id
+        ComponentId(self.components.reserve())
     }
 
     /// Install a component into a previously [`reserve`](Self::reserve)d slot.
@@ -352,9 +514,7 @@ impl<M: Message> Simulator<M> {
     ///
     /// Panics if the slot is already occupied.
     pub fn install<C: Component<M>>(&mut self, id: ComponentId, component: C) {
-        let slot = &mut self.components[id.0];
-        assert!(slot.is_none(), "component slot {id:?} already installed");
-        *slot = Some(Box::new(component));
+        self.components.install(id.0, Box::new(component));
     }
 
     /// Typed shared access to a component's state.
@@ -363,13 +523,13 @@ impl<M: Message> Simulator<M> {
     /// not `C`. This is how experiment drivers read statistics out of
     /// models after a run.
     pub fn component<C: Component<M>>(&self, id: ComponentId) -> Option<&C> {
-        let c = self.components.get(id.0)?.as_deref()?;
+        let c = self.components.get(id.0)?;
         (c as &dyn Any).downcast_ref::<C>()
     }
 
     /// Typed exclusive access to a component's state.
     pub fn component_mut<C: Component<M>>(&mut self, id: ComponentId) -> Option<&mut C> {
-        let c = self.components.get_mut(id.0)?.as_deref_mut()?;
+        let c = self.components.get_mut_checked(id.0)?;
         (c as &mut dyn Any).downcast_mut::<C>()
     }
 
@@ -385,28 +545,77 @@ impl<M: Message> Simulator<M> {
         self.queues.push(self.now, self.now + delay, to, msg.into());
     }
 
-    /// Run one handler; its sends land in the queues directly.
+    /// Run one handler; its sends land in the queues directly. The
+    /// component fetch is a single bounds-checked arena index; reserved
+    /// slots hold a sentinel whose handler raises the
+    /// uninstalled-component panic.
     fn dispatch(&mut self, at: SimTime, to: ComponentId, msg: M) {
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
         self.delivered += 1;
 
-        let mut component = self.components[to.0]
-            .take()
-            .unwrap_or_else(|| panic!("message sent to uninstalled component {to:?}"));
-        {
-            let mut ctx = Ctx {
-                now: self.now,
-                self_id: to,
-                queues: &mut self.queues,
-            };
+        let component = self.components.get_mut(to.0);
+        let mut ctx = Ctx {
+            now: at,
+            self_id: to,
+            queues: &mut self.queues,
+        };
+        component.handle(&mut ctx, msg);
+    }
+
+    /// Deliver one event and, when the following queue heads continue at
+    /// the same instant toward the same component, the whole train behind
+    /// it in a single borrow of that component.
+    ///
+    /// Batching never reorders anything: [`Batch::next`] yields exactly
+    /// the maximal prefix of the global `(time, seq)` order addressed to
+    /// one component. Messages a handler sends *while* draining carry
+    /// newer sequence numbers, so they sort after everything already
+    /// queued at this instant — when they end up globally next they join
+    /// the train, in the same place per-event dispatch would deliver
+    /// them.
+    fn dispatch_train(&mut self, at: SimTime, to: ComponentId, msg: M) {
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+
+        let component = self.components.get_mut(to.0);
+        let mut ctx = Ctx {
+            now: at,
+            self_id: to,
+            queues: &mut self.queues,
+        };
+        if !ctx.queues.next_matches(at, to) {
+            // Singleton event: plain per-message dispatch.
+            self.delivered += 1;
             component.handle(&mut ctx, msg);
+            return;
         }
-        self.components[to.0] = Some(component);
+
+        let mut batch = Batch {
+            to,
+            head: Some(msg),
+            run: 0,
+            taken: 0,
+        };
+        component.handle_batch(&mut ctx, &mut batch);
+        self.delivered += batch.taken;
+        // A batch handler may stop before taking even the head; deliver
+        // it per-message then (anything else it skipped is still queued
+        // and simply dispatches as the next train). No event is ever
+        // dropped.
+        if let Some(rest) = batch.head.take() {
+            self.delivered += 1;
+            component.handle(&mut ctx, rest);
+        }
     }
 
     /// Deliver the next event, if any. Returns `false` when the queue is
     /// empty.
+    ///
+    /// Always delivers exactly one event (no train batching), which is
+    /// what makes [`run_limited`](Self::run_limited)'s event accounting
+    /// precise; the bulk runners below batch instead. Both paths produce
+    /// identical delivery order and totals.
     ///
     /// # Panics
     ///
@@ -422,21 +631,25 @@ impl<M: Message> Simulator<M> {
         }
     }
 
-    /// Run until the event queue is empty.
+    /// Run until the event queue is empty, draining same-component
+    /// same-instant trains in one component borrow each.
     pub fn run(&mut self) {
-        while self.step() {}
+        while let Some((key, to, msg)) = self.queues.pop_next() {
+            self.dispatch_train(key.at, to, msg);
+        }
     }
 
     /// Run until the queue is empty or the next event is after `until`;
     /// then advance the clock to exactly `until`.
     ///
     /// Events scheduled at exactly `until` are delivered. The bound is
-    /// enforced with a single O(1) head comparison per event — the heap is
-    /// not re-searched between deliveries.
+    /// enforced with a single O(1) head comparison per train — the heap
+    /// is not re-searched between deliveries, and every event of a train
+    /// shares the head's timestamp, so the bound holds for all of it.
     pub fn run_until(&mut self, until: SimTime) {
         while self.queues.next_at().is_some_and(|at| at <= until) {
             let (key, to, msg) = self.queues.pop_next().expect("next_at saw an event");
-            self.dispatch(key.at, to, msg);
+            self.dispatch_train(key.at, to, msg);
         }
         debug_assert!(self.now <= until);
         self.now = until;
@@ -524,6 +737,7 @@ impl<M: Message> fmt::Debug for Simulator<M> {
         f.debug_struct("Simulator")
             .field("now", &self.now)
             .field("components", &self.components.len())
+            .field("installed", &self.components.installed_count())
             .field("pending_events", &self.pending_events())
             .field("delivered", &self.delivered)
             .finish()
@@ -762,6 +976,208 @@ mod tests {
         let mut sim = Simulator::<Num>::new();
         let id = sim.add_component(Echo::sink());
         sim.install(id, Echo::sink());
+    }
+
+    /// Records how each message reached it: via a train batch or a
+    /// per-message dispatch.
+    struct BatchProbe {
+        log: Vec<(u32, bool)>,
+        batches: u64,
+        /// Max messages to consume per `handle_batch` call (`usize::MAX`
+        /// = all of them).
+        consume_limit: usize,
+    }
+
+    impl BatchProbe {
+        fn new() -> Self {
+            BatchProbe {
+                log: vec![],
+                batches: 0,
+                consume_limit: usize::MAX,
+            }
+        }
+    }
+
+    impl Component<Num> for BatchProbe {
+        fn handle(&mut self, _ctx: &mut Ctx<'_, Num>, Num(n): Num) {
+            self.log.push((n, false));
+        }
+
+        fn handle_batch(&mut self, ctx: &mut Ctx<'_, Num>, batch: &mut Batch<Num>) {
+            self.batches += 1;
+            for _ in 0..self.consume_limit {
+                match batch.next(ctx) {
+                    Some(Num(n)) => self.log.push((n, true)),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_instant_trains_arrive_as_one_batch() {
+        let mut sim = Simulator::new();
+        let a = sim.add_component(BatchProbe::new());
+        let b = sim.add_component(BatchProbe::new());
+        // Global order at t=1us: a, a, b, a — the first two form a train,
+        // the b interleave breaks it, the last a is a singleton.
+        sim.schedule(SimTime::us(1), a, Num(0));
+        sim.schedule(SimTime::us(1), a, Num(1));
+        sim.schedule(SimTime::us(1), b, Num(2));
+        sim.schedule(SimTime::us(1), a, Num(3));
+        sim.run();
+        let pa = sim.component::<BatchProbe>(a).unwrap();
+        assert_eq!(pa.log, vec![(0, true), (1, true), (3, false)]);
+        assert_eq!(pa.batches, 1);
+        let pb = sim.component::<BatchProbe>(b).unwrap();
+        assert_eq!(pb.log, vec![(2, false)]);
+        assert_eq!(sim.events_delivered(), 4);
+    }
+
+    #[test]
+    fn partially_consumed_batch_leaves_the_rest_queued() {
+        let mut sim = Simulator::new();
+        let mut probe = BatchProbe::new();
+        probe.consume_limit = 2;
+        let id = sim.add_component(probe);
+        for n in 0..5 {
+            sim.schedule(SimTime::us(1), id, Num(n));
+        }
+        sim.run();
+        let p = sim.component::<BatchProbe>(id).unwrap();
+        // The handler takes two per call; what it leaves stays queued, so
+        // the five events arrive as trains of 2 + 2 and a singleton — in
+        // the original order, with nothing dropped.
+        assert_eq!(
+            p.log,
+            vec![(0, true), (1, true), (2, true), (3, true), (4, false)]
+        );
+        assert_eq!(p.batches, 2);
+        assert_eq!(sim.events_delivered(), 5);
+    }
+
+    #[test]
+    fn batch_handler_taking_nothing_still_delivers_everything() {
+        let mut sim = Simulator::new();
+        let mut probe = BatchProbe::new();
+        probe.consume_limit = 0;
+        let id = sim.add_component(probe);
+        for n in 0..3 {
+            sim.schedule(SimTime::us(1), id, Num(n));
+        }
+        sim.run();
+        let p = sim.component::<BatchProbe>(id).unwrap();
+        // The refusing batch handler forces the per-message fallback for
+        // every train head; order and totals are untouched.
+        assert_eq!(p.log, vec![(0, false), (1, false), (2, false)]);
+        assert_eq!(sim.events_delivered(), 3);
+    }
+
+    #[test]
+    fn zero_delay_sends_during_a_batch_join_the_running_train() {
+        // A component that, while draining a train, emits one zero-delay
+        // self-send per scheduled message: the emissions sort after
+        // everything already queued at this instant — exactly where
+        // per-event dispatch would deliver them — and, being globally
+        // next when the original train runs dry, extend the same batch.
+        struct Echoing {
+            seen: Vec<u32>,
+            trains: Vec<usize>,
+            budget: u32,
+        }
+        impl Component<Num> for Echoing {
+            fn handle(&mut self, ctx: &mut Ctx<'_, Num>, Num(n): Num) {
+                self.seen.push(n);
+                if self.budget > 0 {
+                    self.budget -= 1;
+                    ctx.send_self(SimTime::ZERO, Num(100 + n));
+                }
+                self.trains.push(1);
+            }
+
+            fn handle_batch(&mut self, ctx: &mut Ctx<'_, Num>, batch: &mut Batch<Num>) {
+                let mut train = 0;
+                while let Some(Num(n)) = batch.next(ctx) {
+                    train += 1;
+                    self.seen.push(n);
+                    if self.budget > 0 {
+                        self.budget -= 1;
+                        ctx.send_self(SimTime::ZERO, Num(100 + n));
+                    }
+                }
+                self.trains.push(train);
+            }
+        }
+        let mut sim = Simulator::new();
+        let id = sim.add_component(Echoing {
+            seen: vec![],
+            trains: vec![],
+            budget: 3,
+        });
+        for n in 0..3 {
+            sim.schedule(SimTime::ZERO, id, Num(n));
+        }
+        sim.run();
+        let e = sim.component::<Echoing>(id).unwrap();
+        assert_eq!(e.seen, vec![0, 1, 2, 100, 101, 102]);
+        assert_eq!(e.trains, vec![6], "echoes extend the same train");
+        assert_eq!(sim.events_delivered(), 6);
+    }
+
+    #[test]
+    fn step_and_run_deliver_identically() {
+        // The per-event path (step) and the batched path (run) must agree
+        // on order, count and final clock for a workload mixing trains,
+        // interleaves and zero-delay fan-out.
+        fn build() -> (Simulator<Num>, ComponentId) {
+            struct Relay {
+                to: ComponentId,
+            }
+            impl Component<Num> for Relay {
+                fn handle(&mut self, ctx: &mut Ctx<'_, Num>, Num(n): Num) {
+                    ctx.send(self.to, SimTime::ZERO, Num(2 * n));
+                    ctx.send(self.to, SimTime::ZERO, Num(2 * n + 1));
+                }
+            }
+            let mut sim = Simulator::new();
+            let sink = sim.reserve();
+            let relay = sim.add_component(Relay { to: sink });
+            sim.install(sink, Echo::sink());
+            for n in 0..12 {
+                sim.schedule(SimTime::ns(u64::from(n % 3) * 10), relay, Num(n));
+            }
+            (sim, sink)
+        }
+        let (mut batched, sink_b) = build();
+        batched.run();
+        let (mut stepped, sink_s) = build();
+        while stepped.step() {}
+        assert_eq!(
+            batched.component::<Echo>(sink_b).unwrap().received,
+            stepped.component::<Echo>(sink_s).unwrap().received,
+        );
+        assert_eq!(batched.events_delivered(), stepped.events_delivered());
+        assert_eq!(batched.now(), stepped.now());
+    }
+
+    #[test]
+    fn run_until_batches_trains_only_within_bound() {
+        let mut sim = Simulator::new();
+        let id = sim.add_component(BatchProbe::new());
+        for n in 0..4 {
+            sim.schedule(SimTime::us(1), id, Num(n));
+        }
+        for n in 4..6 {
+            sim.schedule(SimTime::us(9), id, Num(n));
+        }
+        sim.run_until(SimTime::us(5));
+        let p = sim.component::<BatchProbe>(id).unwrap();
+        assert_eq!(p.log, vec![(0, true), (1, true), (2, true), (3, true)]);
+        assert_eq!(sim.now(), SimTime::us(5));
+        sim.run();
+        let p = sim.component::<BatchProbe>(id).unwrap();
+        assert_eq!(p.log.len(), 6);
+        assert_eq!(p.batches, 2);
     }
 
     #[test]

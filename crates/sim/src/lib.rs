@@ -16,8 +16,12 @@
 //! concrete type (usually an enum) carrying every payload the components
 //! of that simulation exchange. Messages travel inline through the event
 //! queue — no `Box`, no `dyn Any`, no downcasting — so the per-event cost
-//! is a slab write plus a 16-byte key insertion into a four-ary index
-//! heap, and same-instant sends skip the heap entirely.
+//! is a slab write plus a `(time, seq, slot)` entry insertion into a
+//! four-ary index heap, and same-instant sends skip the heap entirely.
+//! Components live in a flattened arena (one bounds-checked index per
+//! fetch), and the bulk runners drain same-instant trains addressed to
+//! one component in a single borrow — components can intercept whole
+//! trains via [`Component::handle_batch`].
 //!
 //! Each hardware crate defines a protocol enum for its own components
 //! (`bluedbm_flash::FlashMsg`, `bluedbm_net::NetMsg<B>`,
@@ -74,13 +78,14 @@
 //! assert_eq!(sim.now(), SimTime::us(10)); // last ping's pong
 //! ```
 
+mod arena;
 pub mod engine;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Component, ComponentId, Ctx, Message, Simulator};
+pub use engine::{Batch, Component, ComponentId, Ctx, Message, Simulator};
 pub use resource::{MultiResource, SerialResource};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, MeanTracker, Throughput};

@@ -8,7 +8,11 @@
 //! * results print one line per benchmark and, when the
 //!   `BLUEDBM_BENCH_JSON` environment variable names a file, are appended
 //!   to it as JSON lines (`{"id":…,"ns_per_iter":…,…}`) so scripts can
-//!   track a perf trajectory without parsing stdout.
+//!   track a perf trajectory without parsing stdout;
+//! * setting `BLUEDBM_BENCH_SMOKE` (to anything but `0` or empty)
+//!   overrides every benchmark's sampling config with a one-shot smoke
+//!   profile (2 samples, minimal warm-up/measurement budget) — CI uses
+//!   it to prove the benches still *run* without paying for statistics.
 
 use std::fmt::Display;
 use std::fs::OpenOptions;
@@ -223,15 +227,25 @@ impl Bencher {
     }
 }
 
+/// `true` when the one-shot CI smoke profile is requested via env.
+fn smoke_mode() -> bool {
+    std::env::var("BLUEDBM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 fn run_benchmark<F>(c: &Criterion, id: &str, throughput: Option<Throughput>, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    let (sample_size, measurement_time, warm_up_time) = if smoke_mode() {
+        (2, Duration::from_millis(40), Duration::from_millis(5))
+    } else {
+        (c.sample_size, c.measurement_time, c.warm_up_time)
+    };
     let mut b = Bencher {
-        sample_size: c.sample_size,
-        measurement_time: c.measurement_time,
-        warm_up_time: c.warm_up_time,
-        samples: Vec::with_capacity(c.sample_size),
+        sample_size,
+        measurement_time,
+        warm_up_time,
+        samples: Vec::with_capacity(sample_size),
     };
     f(&mut b);
     if b.samples.is_empty() {
