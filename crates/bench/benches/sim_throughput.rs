@@ -17,6 +17,7 @@ use bluedbm_core::node::Consume;
 use bluedbm_core::{Cluster, NodeId, SystemConfig};
 use bluedbm_net::topology::Topology as NetTopology;
 use bluedbm_sim::engine::{Batch, Component, ComponentId, Ctx, Simulator};
+use bluedbm_sim::pagestore::{PageRef, PageStore};
 use bluedbm_sim::time::SimTime;
 
 const CHAIN_EVENTS: u64 = 100_000;
@@ -27,6 +28,8 @@ const SCATTER_EVENTS: u64 = 20_000;
 const TRAIN_ROUNDS: u64 = 400;
 const TRAIN_LEN: u64 = 256;
 const TRAIN_EVENTS: u64 = TRAIN_ROUNDS * (TRAIN_LEN + 1);
+/// Page size of the page-carrying train shape (the paper's 8 KiB page).
+const PAGE_BYTES: usize = 8192;
 
 // ---------------------------------------------------------------------------
 // The pre-refactor kernel, preserved verbatim in miniature: one heap-boxed
@@ -251,8 +254,10 @@ impl boxed::Component for BoxedSink {
 }
 
 /// Message shape of a train bench: `Tick` (zero-sized) isolates pure
-/// dispatch overhead, `Cmd` adds the realistic payload-transport cost.
-/// Static methods so handler bodies fully inline in both kernels.
+/// dispatch overhead, `Cmd` adds the realistic control-payload cost,
+/// `BoxedPage` is the seed's inline page payload (a fresh 8 KiB heap
+/// `Vec` per message). Static methods so handler bodies fully inline in
+/// both kernels.
 trait TrainShape: Sized + 'static {
     fn make(i: u64) -> Self;
     fn weigh(&self) -> u64;
@@ -276,6 +281,67 @@ impl TrainShape for Cmd {
     }
 }
 
+/// What a page message was before the handle refactor: the page bytes
+/// inline in the message, freshly heap-allocated per event. Boxed-kernel
+/// baseline of the `page` train shape.
+struct BoxedPage(Vec<u8>);
+
+impl TrainShape for BoxedPage {
+    fn make(i: u64) -> BoxedPage {
+        let mut page = vec![0u8; PAGE_BYTES];
+        page[0] = i as u8;
+        BoxedPage(page)
+    }
+    fn weigh(&self) -> u64 {
+        self.0.len() as u64 + u64::from(self.0[0])
+    }
+}
+
+/// Train shape for the typed kernel, which owns a [`PageStore`]: message
+/// construction and consumption go through the store, so the `page`
+/// shape can model handle-based payloads (alloc at the producer, free at
+/// the consumer, 16-byte message on the wire). Store-free shapes get a
+/// blanket impl.
+trait StoreShape: Sized + 'static {
+    fn make(i: u64, pages: &mut PageStore) -> Self;
+    /// Consume the message at the sink (freeing any carried page).
+    fn consume(self, pages: &mut PageStore) -> u64;
+}
+
+impl<T: TrainShape> StoreShape for T {
+    fn make(i: u64, _pages: &mut PageStore) -> T {
+        T::make(i)
+    }
+    fn consume(self, _pages: &mut PageStore) -> u64 {
+        self.weigh()
+    }
+}
+
+/// The post-refactor page message: a token plus an 8-byte handle into
+/// the simulator's page store — what `CtrlCmd::Write` / `NetBody::Resp`
+/// / `PcieXfer` now carry instead of an inline `Vec`.
+struct PageCmd {
+    token: u64,
+    page: PageRef,
+}
+
+impl StoreShape for PageCmd {
+    fn make(i: u64, pages: &mut PageStore) -> PageCmd {
+        // `alloc` (not `alloc_zeroed`): steady-state slots recycle their
+        // buffers, so the producer's fill cost — the actual data, paid
+        // once in real flows — stays out of the transport measurement.
+        PageCmd {
+            token: i,
+            page: pages.alloc(PAGE_BYTES),
+        }
+    }
+    fn consume(self, pages: &mut PageStore) -> u64 {
+        let weight = pages.len(self.page) as u64 + self.token;
+        pages.free(self.page);
+        weight
+    }
+}
+
 /// Emits one train of `TRAIN_LEN` same-instant messages at the sink per
 /// round, re-arming itself 10ns later — the command-forwarding pattern
 /// (splitter fan-out, credit bursts) the batched dispatcher targets.
@@ -285,14 +351,17 @@ struct TypedTrainSource<T> {
     _shape: std::marker::PhantomData<T>,
 }
 
-impl<T: TrainShape> Component<T> for TypedTrainSource<T> {
-    fn handle(&mut self, ctx: &mut Ctx<'_, T>, _msg: T) {
+impl<T: StoreShape> Component<T> for TypedTrainSource<T> {
+    fn handle(&mut self, ctx: &mut Ctx<'_, T>, msg: T) {
+        msg.consume(ctx.pages());
         for i in 0..TRAIN_LEN {
-            ctx.send(self.sink, SimTime::ZERO, T::make(i));
+            let m = T::make(i, ctx.pages());
+            ctx.send(self.sink, SimTime::ZERO, m);
         }
         if self.rounds_left > 0 {
             self.rounds_left -= 1;
-            ctx.send_self(SimTime::ns(10), T::make(0));
+            let m = T::make(0, ctx.pages());
+            ctx.send_self(SimTime::ns(10), m);
         }
     }
 }
@@ -304,14 +373,14 @@ struct TypedBatchSink<T> {
     _shape: std::marker::PhantomData<T>,
 }
 
-impl<T: TrainShape> Component<T> for TypedBatchSink<T> {
-    fn handle(&mut self, _ctx: &mut Ctx<'_, T>, msg: T) {
-        self.seen += msg.weigh();
+impl<T: StoreShape> Component<T> for TypedBatchSink<T> {
+    fn handle(&mut self, ctx: &mut Ctx<'_, T>, msg: T) {
+        self.seen += msg.consume(ctx.pages());
     }
 
     fn handle_batch(&mut self, ctx: &mut Ctx<'_, T>, batch: &mut Batch<T>) {
         while let Some(msg) = batch.next(ctx) {
-            self.seen += msg.weigh();
+            self.seen += msg.consume(ctx.pages());
         }
     }
 }
@@ -346,7 +415,7 @@ impl<T: TrainShape> boxed::Component for BoxedTrainSource<T> {
     }
 }
 
-fn typed_train_setup<T: TrainShape>() -> Simulator<T> {
+fn typed_train_setup<T: StoreShape>() -> Simulator<T> {
     let mut sim = Simulator::with_capacity(TRAIN_LEN as usize + 8);
     let sink = sim.reserve();
     let source = sim.add_component(TypedTrainSource::<T> {
@@ -361,7 +430,8 @@ fn typed_train_setup<T: TrainShape>() -> Simulator<T> {
             _shape: std::marker::PhantomData,
         },
     );
-    sim.schedule(SimTime::ZERO, source, T::make(0));
+    let kick = T::make(0, sim.page_store_mut());
+    sim.schedule(SimTime::ZERO, source, kick);
     sim
 }
 
@@ -518,12 +588,19 @@ fn bench_kernels(c: &mut Criterion) {
 fn bench_trains(c: &mut Criterion) {
     let mut g = c.benchmark_group("des_kernel_train");
     g.throughput(Throughput::Elements(TRAIN_EVENTS));
-    bench_train_shape::<Tick>(&mut g, "tick");
-    bench_train_shape::<Cmd>(&mut g, "cmd");
+    bench_typed_trains::<Tick>(&mut g, "tick");
+    bench_boxed_trains::<Tick>(&mut g, "tick");
+    bench_typed_trains::<Cmd>(&mut g, "cmd");
+    bench_boxed_trains::<Cmd>(&mut g, "cmd");
+    // The page shape pairs the typed kernel's handle-based payloads
+    // (16-byte message + slab bookkeeping) against the seed's inline
+    // `Vec` pages (a fresh 8 KiB heap allocation per event).
+    bench_typed_trains::<PageCmd>(&mut g, "page");
+    bench_boxed_trains::<BoxedPage>(&mut g, "page");
     g.finish();
 }
 
-fn bench_train_shape<T: TrainShape>(g: &mut criterion::BenchmarkGroup<'_>, shape: &str) {
+fn bench_typed_trains<T: StoreShape>(g: &mut criterion::BenchmarkGroup<'_>, shape: &str) {
     let name = format!("{shape}_burst_{TRAIN_LEN}x{TRAIN_ROUNDS}");
     g.bench_function(&format!("typed_batched/{name}"), |b| {
         b.iter_batched(
@@ -545,6 +622,10 @@ fn bench_train_shape<T: TrainShape>(g: &mut criterion::BenchmarkGroup<'_>, shape
             BatchSize::SmallInput,
         )
     });
+}
+
+fn bench_boxed_trains<T: TrainShape>(g: &mut criterion::BenchmarkGroup<'_>, shape: &str) {
+    let name = format!("{shape}_burst_{TRAIN_LEN}x{TRAIN_ROUNDS}");
     g.bench_function(&format!("boxed/{name}"), |b| {
         b.iter_batched(
             || {
@@ -610,27 +691,35 @@ fn fig13_setup(reads: usize) -> (Cluster, Vec<bluedbm_core::GlobalPageAddr>) {
 
 /// Bigger-than-paper scale: an 8x8 mesh — 64 nodes against the paper's
 /// 20-node rack — with node 0 streaming remote reads scattered across
-/// every other node, so traffic crosses the whole fabric.
+/// every other node, so traffic crosses the whole fabric. Run twice:
+/// ISP-consumed (network-bound) and host-consumed (every page
+/// additionally claims a read buffer and crosses node 0's PCIe link —
+/// the full handle-based payload path end to end).
 fn bench_mesh_scale(c: &mut Criterion) {
-    let events_per_run = {
-        let (mut cluster, addrs) = mesh8x8_setup();
-        let before = cluster.sim_mut().events_delivered();
-        cluster.stream_reads(NodeId(0), &addrs, Consume::Isp);
-        cluster.sim_mut().events_delivered() - before
-    };
-    let mut g = c.benchmark_group("sim_throughput");
-    g.throughput(Throughput::Elements(events_per_run));
-    g.bench_function("mesh8x8_scatter_stream_events", |b| {
-        b.iter_batched(
-            mesh8x8_setup,
-            |(mut cluster, addrs)| {
-                let done = cluster.stream_reads(NodeId(0), &addrs, Consume::Isp);
-                black_box(done.len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    for (name, consume) in [
+        ("mesh8x8_scatter_stream_events", Consume::Isp),
+        ("mesh8x8_scatter_stream_host_events", Consume::Host),
+    ] {
+        let events_per_run = {
+            let (mut cluster, addrs) = mesh8x8_setup();
+            let before = cluster.sim_mut().events_delivered();
+            cluster.stream_reads(NodeId(0), &addrs, consume);
+            cluster.sim_mut().events_delivered() - before
+        };
+        let mut g = c.benchmark_group("sim_throughput");
+        g.throughput(Throughput::Elements(events_per_run));
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                mesh8x8_setup,
+                |(mut cluster, addrs)| {
+                    let done = cluster.stream_reads(NodeId(0), &addrs, consume);
+                    black_box(done.len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
 }
 
 fn mesh8x8_setup() -> (Cluster, Vec<bluedbm_core::GlobalPageAddr>) {

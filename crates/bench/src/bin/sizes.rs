@@ -1,0 +1,53 @@
+//! Record the hot-path layout sizes into the benchmark trajectory and
+//! gate the fast-path budget.
+//!
+//! Emits one JSON line per metric (appended to `$BLUEDBM_BENCH_JSON`
+//! when set, mirroring the criterion shim's format) and exits non-zero
+//! if `size_of::<Msg>()` exceeds the 64-byte budget — the CI bench-smoke
+//! job runs this through `scripts/bench.sh`, so a payload regression
+//! fails the pipeline even before the compile-time assertion in
+//! `bluedbm_core::msg` is rebuilt.
+
+use std::io::Write;
+
+use bluedbm_core::Msg;
+use bluedbm_sim::Simulator;
+
+/// The fast-path budget also asserted at compile time in
+/// `bluedbm_core::msg`.
+const MSG_BUDGET_BYTES: usize = 64;
+
+fn main() {
+    let records = [
+        ("sizeof/Msg", std::mem::size_of::<Msg>()),
+        (
+            "sizeof/fast_queue_entry",
+            Simulator::<Msg>::fast_queue_entry_bytes(),
+        ),
+        ("sizeof/heap_entry", Simulator::<Msg>::heap_entry_bytes()),
+        (
+            "sizeof/page_ref",
+            std::mem::size_of::<bluedbm_sim::PageRef>(),
+        ),
+    ];
+
+    let mut lines = String::new();
+    for (id, bytes) in records {
+        println!("{id}: {bytes} bytes");
+        lines.push_str(&format!("{{\"id\":\"{id}\",\"bytes\":{bytes}}}\n"));
+    }
+    if let Ok(path) = std::env::var("BLUEDBM_BENCH_JSON") {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(lines.as_bytes()))
+            .unwrap_or_else(|e| panic!("appending size records to {path}: {e}"));
+    }
+
+    let msg = std::mem::size_of::<Msg>();
+    if msg > MSG_BUDGET_BYTES {
+        eprintln!("FAIL: size_of::<Msg>() = {msg} exceeds the {MSG_BUDGET_BYTES}-byte budget");
+        std::process::exit(1);
+    }
+}

@@ -127,6 +127,7 @@ impl Cluster {
                 node_splitters,
                 config.flash.geometry.page_bytes,
                 config.host.dram_latency,
+                config.host.read_buffers,
             ));
             let router = sim
                 .component_mut::<Router<NetBody>>(node_router)
@@ -259,14 +260,10 @@ impl Cluster {
     ) -> Result<GlobalPageAddr, ClusterError> {
         let addr = self.alloc_page(node)?;
         let op_id = self.op_id();
-        self.run_one(
-            node,
-            AgentOp::WriteFlash {
-                op_id,
-                addr,
-                data: data.to_vec(),
-            },
-        )?;
+        // Stage the page in the simulator's store; the flash controller
+        // consumes (and frees) the handle once the bus has read it.
+        let buffer = self.sim.page_store_mut().alloc_from(data);
+        self.run_one(node, AgentOp::WriteFlash { op_id, addr, data: buffer })?;
         Ok(addr)
     }
 
@@ -465,28 +462,35 @@ impl Cluster {
         d
     }
 
-    /// Router statistics for `node`.
-    pub fn router_stats(&self, node: NodeId) -> RouterStats {
+    /// Router statistics for `node`. Borrowed straight from the
+    /// component — clone at the call site if the probe must outlive
+    /// further cluster mutation.
+    pub fn router_stats(&self, node: NodeId) -> &RouterStats {
         self.sim
             .component::<Router<NetBody>>(self.routers[node.index()])
             .expect("router installed")
             .stats()
-            .clone()
     }
 
-    /// Controller statistics for one card of `node`.
-    pub fn controller_stats(&self, node: NodeId, card: usize) -> CtrlStats {
+    /// Controller statistics for one card of `node` (borrowed; see
+    /// [`Cluster::router_stats`]).
+    pub fn controller_stats(&self, node: NodeId, card: usize) -> &CtrlStats {
         self.sim
             .component::<FlashController>(self.controllers[node.index()][card])
             .expect("controller installed")
             .stats()
-            .clone()
     }
 
     /// The PCIe link component id of `node` (advanced drivers can inject
     /// [`bluedbm_host::pcie::PcieXfer`]s directly).
     pub fn pcie_id(&self, node: NodeId) -> ComponentId {
         self.pcie[node.index()]
+    }
+
+    /// The simulator-owned page store: payload staging for advanced
+    /// drivers, and the leak audit (`assert_quiescent`) after a run.
+    pub fn page_store(&self) -> &bluedbm_sim::PageStore {
+        self.sim.page_store()
     }
 
     /// Direct simulator access for advanced experiment drivers.
@@ -523,6 +527,8 @@ mod tests {
         // is ~13.7us), no network.
         assert!(read.latency >= SimTime::us(50));
         assert!(read.latency < SimTime::us(66), "{}", read.latency);
+        // Every page handle was consumed on its way through the stack.
+        cluster.page_store().assert_quiescent();
     }
 
     #[test]
@@ -555,6 +561,7 @@ mod tests {
         // DMA setup 1us + ~1.3us transfer (2KB page at 1.6GB/s) + 2us
         // completion.
         assert!(gap > SimTime::us(3) && gap < SimTime::us(10), "{gap}");
+        cluster.page_store().assert_quiescent();
     }
 
     #[test]
@@ -677,5 +684,35 @@ mod tests {
             rate > 0.90e9 && rate < 1.06e9,
             "one-lane remote stream: {rate:.3e} B/s"
         );
+        cluster.page_store().assert_quiescent();
+    }
+
+    #[test]
+    fn host_stream_respects_the_read_buffer_pool() {
+        use crate::node::NodeAgent;
+
+        // Shrink the host interface to 4 read buffers so a 32-page burst
+        // must recycle them: pages beyond the pool park until a PCIe
+        // completion returns a buffer (paper Section 3.3's free-queue
+        // discipline on the read side).
+        let mut config = SystemConfig::scaled_down();
+        config.host.read_buffers = 4;
+        let mut cluster = Cluster::ring(2, &config).unwrap();
+        let addrs: Vec<GlobalPageAddr> = (0..32)
+            .map(|i| cluster.preload_page(NodeId(0), &page(&config, i as u8)).unwrap())
+            .collect();
+        let done = cluster.stream_reads(NodeId(0), &addrs, Consume::Host);
+        assert_eq!(done.len(), 32, "every parked page eventually crosses PCIe");
+        assert!(done.iter().all(|c| c.error.is_none()));
+        let agent = cluster.agents[0];
+        let pool = cluster
+            .sim
+            .component::<NodeAgent>(agent)
+            .expect("agent installed")
+            .host_buffers();
+        assert_eq!(pool.peak_in_use(), 4, "the burst saturates the pool");
+        assert!(pool.exhaustions() > 0, "flash outruns 4 buffers");
+        assert_eq!(pool.in_use(), 0, "all buffers returned");
+        cluster.page_store().assert_quiescent();
     }
 }

@@ -43,6 +43,11 @@ pub struct HostModel {
     pub nn_compare_time: SimTime,
     /// Host DRAM random access latency (remote H-D storage-access term).
     pub dram_latency: SimTime,
+    /// Host-interface read page buffers per node: "the host interface
+    /// provides the software with 128 page buffers, each for reads and
+    /// writes" (Section 3.3). Device-to-host pages wait for a free
+    /// buffer before crossing PCIe.
+    pub read_buffers: usize,
     /// Host threads available (24 cores in the paper's Xeons).
     pub max_threads: usize,
 }
@@ -55,6 +60,7 @@ impl HostModel {
             io_page_overhead: SimTime::from_us_f64(2.7),
             nn_compare_time: SimTime::from_us_f64(22.9),
             dram_latency: SimTime::ns(200),
+            read_buffers: 128,
             max_threads: 24,
         }
     }

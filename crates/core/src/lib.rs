@@ -47,12 +47,14 @@ pub mod power;
 pub mod scheduler;
 
 pub use cluster::{Cluster, CompletedRead, GlobalPageAddr};
-pub use msg::{Msg, NetBody, PageData};
+pub use msg::{Msg, NetBody};
 pub use config::SystemConfig;
 pub use kvstore::KvStore;
 pub use paths::{AccessPath, LatencyBreakdown};
 pub use power::PowerModel;
 pub use scheduler::AcceleratorScheduler;
 
-// Re-export the node id type used throughout the public API.
+// Re-export the node id type used throughout the public API, and the
+// page-store types payload-bearing drivers stage data through.
 pub use bluedbm_net::topology::NodeId;
+pub use bluedbm_sim::{PageRef, PageStore};

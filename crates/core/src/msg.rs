@@ -2,69 +2,134 @@
 //!
 //! [`Msg`] composes every subsystem protocol a full BlueDBM node speaks —
 //! flash commands, network packets (whose bodies are the remote-operation
-//! types in [`NetBody`]), PCIe transfers carrying page data, and the
-//! node-agent operations — into one enum that instantiates the typed
-//! [`bluedbm_sim::Simulator`]. Payloads travel inline end to end: a page
-//! read off a simulated flash chip moves through the controller, the
-//! splitter, the network and the PCIe link without a single heap-boxed
-//! message or downcast.
+//! types in [`NetBody`]), PCIe transfers, and the node-agent operations —
+//! into one enum that instantiates the typed [`bluedbm_sim::Simulator`].
+//!
+//! ## Handle-based payloads
+//!
+//! Control fields travel inline; **bulk page payloads travel by
+//! handle**: page contents live in the simulator-owned
+//! [`bluedbm_sim::PageStore`] and messages carry an 8-byte [`PageRef`].
+//! A page read off a simulated flash chip moves through the controller,
+//! the splitter, the network and the PCIe link as one handle copy per
+//! hop; the bytes are written once by the producer (the flash array) and
+//! copied out once by the consumer. Ownership rule: every [`PageRef`]
+//! inside a message has exactly one consumer, which must `free` (or
+//! `take`) the page — simulations audit this with
+//! `PageStore::assert_quiescent` after a run.
+//!
+//! ## The 64-byte budget
+//!
+//! `size_of::<Msg>() <= 64` is asserted at compile time: one message
+//! fits a cache line, so fast-queue entries stay compact and train
+//! dispatch is never payload-transport-bound. Three layout decisions
+//! keep it true:
+//!
+//! * [`Msg`] is **flat** — one discriminant level. Each nested enum
+//!   wrapper costs 8 bytes of tag + padding, so the subsystem enums
+//!   (`FlashMsg`, `NetMsg`) are split into their variants here and
+//!   reassembled (a plain move) in the protocol-trait impls below;
+//! * bulk payloads ride the page store as [`PageRef`]s (above);
+//! * the two verbose network objects are boxed where they are born:
+//!   `NetMsg::Wire` (per-hop routing metadata; the box is allocated at
+//!   injection and reused across every hop) and [`NetBody::Req`] (one
+//!   small control-plane allocation per remote request — the per-page
+//!   data plane, [`NetBody::Resp`], stays inline).
 //!
 //! To add a new message kind, see the "Adding a new message variant"
 //! checklist in the `bluedbm_sim` crate docs.
 
-use bluedbm_flash::controller::CtrlCmd;
+use bluedbm_flash::controller::{CtrlCmd, CtrlResp, Finish};
 use bluedbm_flash::msg::{FlashMsg, FlashProtocol};
+use bluedbm_flash::server::{ServerReq, ServerResp};
 use bluedbm_host::msg::{HostMsg, HostProtocol};
 use bluedbm_host::pcie::PcieXfer;
 use bluedbm_net::msg::{NetMsg, NetProtocol};
-use bluedbm_net::router::NetSend;
+use bluedbm_net::router::{CreditReturn, E2eAck, NetRecv, NetSend, Wire};
+use bluedbm_sim::PageRef;
 
 use crate::node::{AgentOp, DramServed, RemoteReq, RemoteResp};
 
 /// Functional payload of a storage-network packet in the full system.
 #[derive(Debug)]
 pub enum NetBody {
-    /// A remote flash/DRAM request travelling to the owning node.
-    Req(RemoteReq),
-    /// The response travelling back to the requesting node.
+    /// A remote flash/DRAM request travelling to the owning node (boxed:
+    /// control-plane, one allocation per remote request).
+    Req(Box<RemoteReq>),
+    /// The response travelling back to the requesting node — page data
+    /// by handle, inline.
     Resp(RemoteResp),
 }
 
-/// Page data carried across the PCIe link.
-pub type PageData = Vec<u8>;
-
-/// The concrete message type of full-system simulations.
+/// The concrete message type of full-system simulations. Flat on
+/// purpose — see the module docs for the layout rules.
 #[derive(Debug)]
 pub enum Msg {
-    /// Flash-stack traffic (commands, completions, server requests).
-    Flash(FlashMsg),
-    /// Storage-network traffic with [`NetBody`] packet bodies.
-    Net(NetMsg<NetBody>),
-    /// PCIe/DMA traffic carrying page data.
-    Host(HostMsg<PageData>),
+    /// Raw flash-controller command.
+    FlashCmd(CtrlCmd),
+    /// Flash-controller completion.
+    FlashResp(CtrlResp),
+    /// Controller-internal delayed completion (self-send only).
+    FlashFinish(Finish),
+    /// Flash Server request.
+    ServerReq(ServerReq),
+    /// Flash Server in-order response.
+    ServerResp(ServerResp),
+    /// Local sender asks its router to inject a packet.
+    NetSend(NetSend<NetBody>),
+    /// Router delivers a packet to an endpoint consumer.
+    NetRecv(NetRecv<NetBody>),
+    /// Router-to-router transfer.
+    NetWire(Box<Wire<NetBody>>),
+    /// Link-layer credit return.
+    NetCredit(CreditReturn),
+    /// End-to-end flow-control acknowledgement.
+    NetAck(E2eAck),
+    /// PCIe/DMA traffic carrying page handles.
+    Host(HostMsg<PageRef>),
     /// Driver operation addressed to a node agent.
     Op(AgentOp),
     /// Node-agent internal: delayed DRAM-buffer reply.
     Dram(DramServed),
 }
 
+/// The fast-path size budget: one [`Msg`] must fit a 64-byte cache
+/// line. Adding a variant (or growing one) past the budget fails the
+/// build here — carry bulk payloads by [`PageRef`] instead.
+const _: () = assert!(
+    std::mem::size_of::<Msg>() <= 64,
+    "Msg exceeds the 64-byte fast-path budget; carry bulk payloads by PageRef"
+);
+
 impl From<FlashMsg> for Msg {
     #[inline]
     fn from(m: FlashMsg) -> Self {
-        Msg::Flash(m)
+        match m {
+            FlashMsg::Cmd(c) => Msg::FlashCmd(c),
+            FlashMsg::Resp(r) => Msg::FlashResp(r),
+            FlashMsg::Finish(f) => Msg::FlashFinish(f),
+            FlashMsg::ServerReq(r) => Msg::ServerReq(r),
+            FlashMsg::ServerResp(r) => Msg::ServerResp(r),
+        }
     }
 }
 
 impl From<NetMsg<NetBody>> for Msg {
     #[inline]
     fn from(m: NetMsg<NetBody>) -> Self {
-        Msg::Net(m)
+        match m {
+            NetMsg::Send(s) => Msg::NetSend(s),
+            NetMsg::Recv(r) => Msg::NetRecv(r),
+            NetMsg::Wire(w) => Msg::NetWire(w),
+            NetMsg::Credit(c) => Msg::NetCredit(c),
+            NetMsg::Ack(a) => Msg::NetAck(a),
+        }
     }
 }
 
-impl From<HostMsg<PageData>> for Msg {
+impl From<HostMsg<PageRef>> for Msg {
     #[inline]
-    fn from(m: HostMsg<PageData>) -> Self {
+    fn from(m: HostMsg<PageRef>) -> Self {
         Msg::Host(m)
     }
 }
@@ -86,20 +151,20 @@ impl From<DramServed> for Msg {
 impl From<CtrlCmd> for Msg {
     #[inline]
     fn from(m: CtrlCmd) -> Self {
-        Msg::Flash(FlashMsg::Cmd(m))
+        Msg::FlashCmd(m)
     }
 }
 
 impl From<NetSend<NetBody>> for Msg {
     #[inline]
     fn from(m: NetSend<NetBody>) -> Self {
-        Msg::Net(NetMsg::Send(m))
+        Msg::NetSend(m)
     }
 }
 
-impl From<PcieXfer<PageData>> for Msg {
+impl From<PcieXfer<PageRef>> for Msg {
     #[inline]
-    fn from(m: PcieXfer<PageData>) -> Self {
+    fn from(m: PcieXfer<PageRef>) -> Self {
         Msg::Host(HostMsg::Xfer(m))
     }
 }
@@ -108,7 +173,11 @@ impl FlashProtocol for Msg {
     #[inline]
     fn into_flash(self) -> FlashMsg {
         match self {
-            Msg::Flash(m) => m,
+            Msg::FlashCmd(c) => FlashMsg::Cmd(c),
+            Msg::FlashResp(r) => FlashMsg::Resp(r),
+            Msg::FlashFinish(f) => FlashMsg::Finish(f),
+            Msg::ServerReq(r) => FlashMsg::ServerReq(r),
+            Msg::ServerResp(r) => FlashMsg::ServerResp(r),
             other => panic!("flash component received a non-flash message: {other:?}"),
         }
     }
@@ -120,20 +189,45 @@ impl NetProtocol for Msg {
     #[inline]
     fn into_net(self) -> NetMsg<NetBody> {
         match self {
-            Msg::Net(m) => m,
+            Msg::NetSend(s) => NetMsg::Send(s),
+            Msg::NetRecv(r) => NetMsg::Recv(r),
+            Msg::NetWire(w) => NetMsg::Wire(w),
+            Msg::NetCredit(c) => NetMsg::Credit(c),
+            Msg::NetAck(a) => NetMsg::Ack(a),
             other => panic!("network component received a non-network message: {other:?}"),
         }
     }
 }
 
 impl HostProtocol for Msg {
-    type Body = PageData;
+    type Body = PageRef;
 
     #[inline]
-    fn into_host(self) -> HostMsg<PageData> {
+    fn into_host(self) -> HostMsg<PageRef> {
         match self {
             Msg::Host(m) => m,
             other => panic!("host component received a non-host message: {other:?}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_round_trips_preserve_variants() {
+        let cmd = CtrlCmd::Erase {
+            tag: bluedbm_flash::Tag(3),
+            ppa: bluedbm_flash::Ppa::new(0, 0, 0, 0),
+            reply_to: {
+                let mut sim = bluedbm_sim::Simulator::<Msg>::new();
+                sim.reserve()
+            },
+        };
+        let msg: Msg = FlashMsg::Cmd(cmd).into();
+        assert!(matches!(msg, Msg::FlashCmd(_)));
+        let back = msg.into_flash();
+        assert!(matches!(back, FlashMsg::Cmd(CtrlCmd::Erase { .. })));
     }
 }

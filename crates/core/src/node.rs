@@ -8,19 +8,19 @@
 //! remote requests over the integrated network, stages host-bound data
 //! through the PCIe link, and answers remote DRAM-buffer reads.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use bluedbm_flash::controller::{CtrlCmd, CtrlResp, Tag};
 use bluedbm_flash::error::FlashError;
 use bluedbm_flash::geometry::Ppa;
-use bluedbm_flash::msg::FlashMsg;
+use bluedbm_host::bufpool::BufferPool;
 use bluedbm_host::msg::HostMsg;
 use bluedbm_host::pcie::{Direction, PcieXfer};
-use bluedbm_net::msg::NetMsg;
 use bluedbm_net::router::{NetRecv, NetSend};
 use bluedbm_net::topology::NodeId;
 use bluedbm_sim::engine::{Batch, Component, ComponentId, Ctx};
 use bluedbm_sim::time::SimTime;
+use bluedbm_sim::PageRef;
 
 use crate::msg::{Msg, NetBody};
 
@@ -72,8 +72,9 @@ pub enum AgentOp {
         op_id: u64,
         /// Page to program; must be local to this agent's node.
         addr: GlobalPageAddr,
-        /// Page contents.
-        data: Vec<u8>,
+        /// Handle to the page contents (staged in the simulator's page
+        /// store by the driver; consumed by the flash controller).
+        data: PageRef,
     },
     /// Stage data into this node's DRAM buffer (setup; immediate).
     LoadDram {
@@ -123,29 +124,85 @@ pub struct RemoteReq {
     kind: RemoteKind,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 enum RemoteKind {
     Flash(GlobalPageAddr),
     Dram(u64),
 }
 
+/// Compact wire form of a remote read failure: a status code, as real
+/// hardware would return — the rich [`FlashError`] context (which page,
+/// which key) is reconstructed by the requester from its own pending
+/// state, so the response message stays small. Only the errors a read
+/// path can produce exist here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The address does not exist on the owning node.
+    OutOfRange,
+    /// The block is marked bad.
+    BadBlock,
+    /// The page was never programmed.
+    NotProgrammed,
+    /// Uncorrectable ECC failure.
+    Uncorrectable,
+    /// The DRAM buffer holds no such key.
+    UnknownHandle,
+}
+
+impl RemoteError {
+    /// Collapse a read-path failure to its wire code.
+    fn of(e: &FlashError) -> Self {
+        match e {
+            FlashError::OutOfRange(_) => RemoteError::OutOfRange,
+            FlashError::BadBlock(_) => RemoteError::BadBlock,
+            FlashError::NotProgrammed(_) => RemoteError::NotProgrammed,
+            FlashError::Uncorrectable(_) => RemoteError::Uncorrectable,
+            FlashError::UnknownHandle(_) => RemoteError::UnknownHandle,
+            other => panic!("non-read error on the remote read path: {other}"),
+        }
+    }
+
+    /// Rehydrate the full error from the requester's knowledge of what
+    /// it asked for.
+    fn rehydrate(self, target: RemoteKind) -> FlashError {
+        match (self, target) {
+            (RemoteError::OutOfRange, RemoteKind::Flash(a)) => FlashError::OutOfRange(a.ppa),
+            (RemoteError::BadBlock, RemoteKind::Flash(a)) => FlashError::BadBlock(a.ppa),
+            (RemoteError::NotProgrammed, RemoteKind::Flash(a)) => {
+                FlashError::NotProgrammed(a.ppa)
+            }
+            (RemoteError::Uncorrectable, RemoteKind::Flash(a)) => {
+                FlashError::Uncorrectable(a.ppa)
+            }
+            (RemoteError::UnknownHandle, RemoteKind::Dram(key)) => {
+                FlashError::UnknownHandle(key)
+            }
+            (code, target) => panic!("error code {code:?} does not fit request {target:?}"),
+        }
+    }
+}
+
 /// Remote response carried over the storage network. Public only because
-/// it rides [`crate::msg::NetBody`].
+/// it rides [`crate::msg::NetBody`]. Page data travels by handle (the
+/// requesting agent consumes the page); failures travel as
+/// [`RemoteError`] codes.
 #[derive(Debug)]
 pub struct RemoteResp {
     req_id: u64,
-    addr: Option<GlobalPageAddr>,
-    data: Result<Vec<u8>, FlashError>,
+    data: Result<PageRef, RemoteError>,
 }
 
 /// Delayed local DRAM reply (models the DRAM access latency of a
 /// remote-DRAM request being serviced). Public only because it rides
-/// [`crate::msg::Msg`] as an agent self-send.
+/// [`crate::msg::Msg`] as an agent self-send. Carries the response
+/// fields flat (DRAM replies never carry a flash address) so the
+/// variant stays inside `Msg`'s 64-byte budget.
 #[derive(Debug)]
 pub struct DramServed {
     origin: NodeId,
     reply_ep: u16,
-    resp: RemoteResp,
+    req_id: u64,
+    data: Result<PageRef, RemoteError>,
     bytes: u32,
 }
 
@@ -166,15 +223,17 @@ enum FlashDest {
         origin: NodeId,
         req_id: u64,
         reply_ep: u16,
-        addr: GlobalPageAddr,
     },
 }
 
-/// A network round trip awaiting its response.
+/// A network round trip awaiting its response. Remembers what was asked
+/// for, so completion records (and rehydrated errors) carry the full
+/// context without the response having to echo it over the wire.
 struct NetPending {
     op_id: u64,
     consume: Consume,
     start: SimTime,
+    target: RemoteKind,
 }
 
 /// The node hub component. Built by [`crate::cluster::Cluster`].
@@ -198,6 +257,12 @@ pub struct NodeAgent {
     /// Host-bound pages in flight on PCIe: token -> (op state).
     pcie_pending: HashMap<u64, (u64, Option<GlobalPageAddr>, SimTime)>,
     next_pcie_token: u64,
+    /// The paper's host-interface read buffers: a device-to-host page
+    /// must claim one of the (128 in the paper) buffers before its DMA
+    /// is issued; pages that find the pool exhausted park in
+    /// `host_parked` until a completion frees a buffer.
+    host_buffers: BufferPool,
+    host_parked: VecDeque<(u64, Option<GlobalPageAddr>, SimTime, PageRef)>,
     dram: HashMap<u64, Vec<u8>>,
     /// Finished operations awaiting harvest.
     completed: Vec<Completed>,
@@ -213,6 +278,7 @@ impl NodeAgent {
         cards: Vec<ComponentId>,
         page_bytes: usize,
         dram_latency: SimTime,
+        read_buffers: usize,
     ) -> Self {
         NodeAgent {
             node,
@@ -228,9 +294,17 @@ impl NodeAgent {
             net_pending: HashMap::new(),
             pcie_pending: HashMap::new(),
             next_pcie_token: 0,
+            host_buffers: BufferPool::new(read_buffers),
+            host_parked: VecDeque::new(),
             dram: HashMap::new(),
             completed: Vec::new(),
         }
+    }
+
+    /// The host-interface read-buffer pool (stats: peak occupancy,
+    /// exhaustion stalls).
+    pub fn host_buffers(&self) -> &BufferPool {
+        &self.host_buffers
     }
 
     /// Drain all completions recorded so far.
@@ -291,8 +365,9 @@ impl NodeAgent {
         });
     }
 
-    /// Deliver read data to its consumer: ISP completes here; Host pays
-    /// the PCIe crossing first.
+    /// Deliver read data to its consumer: ISP copies the page out of the
+    /// store here; Host claims a read buffer and pays the PCIe crossing
+    /// first (parking if all buffers are in flight).
     fn consume_read(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -300,23 +375,46 @@ impl NodeAgent {
         addr: Option<GlobalPageAddr>,
         consume: Consume,
         start: SimTime,
-        data: Result<Vec<u8>, FlashError>,
+        data: Result<PageRef, FlashError>,
     ) {
         match (consume, data) {
-            (Consume::Isp, data) => self.complete(ctx.now(), op_id, addr, data, start),
-            (Consume::Host, Ok(data)) => {
-                let token = self.next_pcie_token;
-                self.next_pcie_token += 1;
-                self.pcie_pending.insert(token, (op_id, addr, start));
-                let me = ctx.self_id();
-                ctx.send(
-                    self.pcie,
-                    SimTime::ZERO,
-                    PcieXfer::new(Direction::DeviceToHost, data.len() as u32, me, token, data),
-                );
+            (Consume::Isp, data) => {
+                let data = data.map(|page| ctx.pages().take(page));
+                self.complete(ctx.now(), op_id, addr, data, start);
+            }
+            (Consume::Host, Ok(page)) => {
+                if self.host_buffers.adopt(page) {
+                    self.issue_pcie(ctx, op_id, addr, start, page);
+                } else {
+                    // All 128 read buffers hold in-flight pages: the
+                    // paper's free-queue discipline makes this page wait
+                    // for a completion to return a buffer.
+                    self.host_parked.push_back((op_id, addr, start, page));
+                }
             }
             (Consume::Host, Err(e)) => self.complete(ctx.now(), op_id, addr, Err(e), start),
         }
+    }
+
+    /// DMA one buffered page to the host.
+    fn issue_pcie(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        op_id: u64,
+        addr: Option<GlobalPageAddr>,
+        start: SimTime,
+        page: PageRef,
+    ) {
+        let token = self.next_pcie_token;
+        self.next_pcie_token += 1;
+        self.pcie_pending.insert(token, (op_id, addr, start));
+        let me = ctx.self_id();
+        let bytes = ctx.pages().len(page) as u32;
+        ctx.send(
+            self.pcie,
+            SimTime::ZERO,
+            PcieXfer::new(Direction::DeviceToHost, bytes, me, token, page),
+        );
     }
 
     fn handle_op(&mut self, ctx: &mut Ctx<'_, Msg>, op: AgentOp) {
@@ -346,6 +444,7 @@ impl NodeAgent {
                             op_id,
                             consume,
                             start: ctx.now(),
+                            target: RemoteKind::Flash(addr),
                         },
                     );
                     let rr = self.reply_rr.entry(addr.node).or_insert(0);
@@ -358,12 +457,12 @@ impl NodeAgent {
                             addr.node,
                             REQUEST_ENDPOINT,
                             REQUEST_BYTES,
-                            NetBody::Req(RemoteReq {
+                            NetBody::Req(Box::new(RemoteReq {
                                 req_id,
                                 origin: self.node,
                                 reply_ep,
                                 kind: RemoteKind::Flash(addr),
-                            }),
+                            })),
                         ),
                     );
                 }
@@ -408,6 +507,7 @@ impl NodeAgent {
                         op_id,
                         consume,
                         start: ctx.now(),
+                        target: RemoteKind::Dram(key),
                     },
                 );
                 let rr = self.reply_rr.entry(node).or_insert(0);
@@ -420,12 +520,12 @@ impl NodeAgent {
                         node,
                         REQUEST_ENDPOINT,
                         REQUEST_BYTES,
-                        NetBody::Req(RemoteReq {
+                        NetBody::Req(Box::new(RemoteReq {
                             req_id,
                             origin: self.node,
                             reply_ep,
                             kind: RemoteKind::Dram(key),
-                        }),
+                        })),
                     ),
                 );
             }
@@ -448,7 +548,7 @@ impl NodeAgent {
                 },
                 CtrlResp::ReadDone { result, .. },
             ) => {
-                self.consume_read(ctx, op_id, Some(addr), consume, start, result.map(|r| r.data));
+                self.consume_read(ctx, op_id, Some(addr), consume, start, result.map(|r| r.page));
             }
             (FlashDest::LocalWrite { op_id, addr, start }, CtrlResp::WriteDone { result, .. }) => {
                 let data = result.map(|()| Vec::new());
@@ -459,11 +559,12 @@ impl NodeAgent {
                     origin,
                     req_id,
                     reply_ep,
-                    addr,
                 },
                 CtrlResp::ReadDone { result, .. },
             ) => {
-                let data = result.map(|r| r.data);
+                let data = result
+                    .map(|r| r.page)
+                    .map_err(|e| RemoteError::of(&e));
                 let bytes = self.page_bytes as u32;
                 ctx.send(
                     self.router,
@@ -472,11 +573,7 @@ impl NodeAgent {
                         origin,
                         reply_ep,
                         bytes,
-                        NetBody::Resp(RemoteResp {
-                            req_id,
-                            addr: Some(addr),
-                            data,
-                        }),
+                        NetBody::Resp(RemoteResp { req_id, data }),
                     ),
                 );
             }
@@ -487,6 +584,7 @@ impl NodeAgent {
     fn handle_net(&mut self, ctx: &mut Ctx<'_, Msg>, recv: NetRecv<NetBody>) {
         let resp = match recv.body {
             NetBody::Req(req) => {
+                let req = *req;
                 match req.kind {
                     RemoteKind::Flash(addr) => {
                         debug_assert_eq!(addr.node, self.node);
@@ -497,28 +595,26 @@ impl NodeAgent {
                                 origin: req.origin,
                                 req_id: req.req_id,
                                 reply_ep: req.reply_ep,
-                                addr,
                             },
                         );
                     }
                     RemoteKind::Dram(key) => {
-                        let data = self
-                            .dram
-                            .get(&key)
-                            .cloned()
-                            .ok_or(FlashError::UnknownHandle(key));
-                        let bytes = data.as_ref().map(|d| d.len() as u32).unwrap_or(8);
+                        let data = match self.dram.get(&key) {
+                            Some(d) => Ok(ctx.pages().alloc_from(d)),
+                            None => Err(RemoteError::UnknownHandle),
+                        };
+                        let bytes = match &data {
+                            Ok(page) => ctx.pages().len(*page) as u32,
+                            Err(_) => 8,
+                        };
                         // Model the DRAM access before replying.
                         ctx.send_self(
                             self.dram_latency,
                             DramServed {
                                 origin: req.origin,
                                 reply_ep: req.reply_ep,
-                                resp: RemoteResp {
-                                    req_id: req.req_id,
-                                    addr: None,
-                                    data,
-                                },
+                                req_id: req.req_id,
+                                data,
                                 bytes,
                             },
                         );
@@ -532,14 +628,12 @@ impl NodeAgent {
             .net_pending
             .remove(&resp.req_id)
             .expect("response for a request the agent never sent");
-        self.consume_read(
-            ctx,
-            pending.op_id,
-            resp.addr,
-            pending.consume,
-            pending.start,
-            resp.data,
-        );
+        let addr = match pending.target {
+            RemoteKind::Flash(addr) => Some(addr),
+            RemoteKind::Dram(_) => None,
+        };
+        let data = resp.data.map_err(|code| code.rehydrate(pending.target));
+        self.consume_read(ctx, pending.op_id, addr, pending.consume, pending.start, data);
     }
 }
 
@@ -549,8 +643,8 @@ impl NodeAgent {
     fn handle_msg(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
         match msg {
             Msg::Op(op) => self.handle_op(ctx, op),
-            Msg::Flash(FlashMsg::Resp(resp)) => self.handle_ctrl_resp(ctx, resp),
-            Msg::Net(NetMsg::Recv(recv)) => self.handle_net(ctx, recv),
+            Msg::FlashResp(resp) => self.handle_ctrl_resp(ctx, resp),
+            Msg::NetRecv(recv) => self.handle_net(ctx, recv),
             Msg::Dram(served) => {
                 ctx.send(
                     self.router,
@@ -559,7 +653,10 @@ impl NodeAgent {
                         served.origin,
                         served.reply_ep,
                         served.bytes,
-                        NetBody::Resp(served.resp),
+                        NetBody::Resp(RemoteResp {
+                            req_id: served.req_id,
+                            data: served.data,
+                        }),
                     ),
                 );
             }
@@ -568,7 +665,16 @@ impl NodeAgent {
                     .pcie_pending
                     .remove(&done.token)
                     .expect("PCIe completion for an unknown token");
-                self.complete(ctx.now(), op_id, addr, Ok(done.body), start);
+                // The page is in host memory: return the read buffer to
+                // the free queue and hand the next parked page its slot.
+                self.host_buffers.release(done.body);
+                let data = ctx.pages().take(done.body);
+                self.complete(ctx.now(), op_id, addr, Ok(data), start);
+                if let Some((op_id, addr, start, page)) = self.host_parked.pop_front() {
+                    let adopted = self.host_buffers.adopt(page);
+                    debug_assert!(adopted, "a just-released buffer must be free");
+                    self.issue_pcie(ctx, op_id, addr, start, page);
+                }
             }
             other => panic!("node agent got an unexpected message: {other:?}"),
         }

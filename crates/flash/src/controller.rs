@@ -17,11 +17,12 @@
 use std::collections::VecDeque;
 
 use bluedbm_sim::engine::{Batch, Component, ComponentId, Ctx};
+use bluedbm_sim::pagestore::{PageRef, PageStore};
 use bluedbm_sim::resource::SerialResource;
 use bluedbm_sim::stats::{Histogram, Throughput};
 use bluedbm_sim::time::SimTime;
 
-use crate::array::{FlashArray, ReadResult};
+use crate::array::FlashArray;
 use crate::error::FlashError;
 use crate::geometry::Ppa;
 use crate::msg::{FlashMsg, FlashProtocol};
@@ -49,8 +50,12 @@ pub enum CtrlCmd {
         tag: Tag,
         /// Page to program.
         ppa: Ppa,
-        /// Page contents (must be exactly one page).
-        data: Vec<u8>,
+        /// Handle to the page contents in the simulator's
+        /// [`PageStore`] (must be exactly one page). The controller
+        /// consumes the handle: the buffer is freed once the hardware
+        /// has read it, mirroring the paper's write-buffer free-queue
+        /// discipline.
+        data: PageRef,
         /// Component to deliver the [`CtrlResp`] to.
         reply_to: ComponentId,
     },
@@ -85,6 +90,17 @@ impl CtrlCmd {
     }
 }
 
+/// A successful page read as delivered by the controller: the data sits
+/// in the simulator's [`PageStore`]; the handle's consumer owns the page
+/// and must free (or [`PageStore::take`]) it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageRead {
+    /// Handle to the page contents after ECC correction.
+    pub page: PageRef,
+    /// Codewords in which a single-bit error was corrected on this read.
+    pub corrected_words: u32,
+}
+
 /// Completions produced by the [`FlashController`].
 #[derive(Debug)]
 pub enum CtrlResp {
@@ -92,8 +108,8 @@ pub enum CtrlResp {
     ReadDone {
         /// Echo of the command tag.
         tag: Tag,
-        /// Page data after ECC, or the failure.
-        result: Result<ReadResult, FlashError>,
+        /// Handle to the page data after ECC, or the failure.
+        result: Result<PageRead, FlashError>,
         /// When the command was accepted by the controller.
         issued_at: SimTime,
     },
@@ -126,11 +142,13 @@ impl CtrlResp {
 
 /// Controller-internal delayed completion. Public only because it rides
 /// the [`FlashMsg`] enum as a self-send; nothing outside the controller
-/// constructs or inspects one.
+/// constructs or inspects one. Carries just a slot into the
+/// controller's pending-finish slab, so the message stays 4 bytes — the
+/// completed response and its reply target wait in the controller until
+/// the modelled latency elapses.
 #[derive(Debug)]
 pub struct Finish {
-    resp: CtrlResp,
-    reply_to: ComponentId,
+    slot: u32,
 }
 
 /// A one-line hardware-inventory record, the software analogue of the
@@ -171,6 +189,10 @@ pub struct FlashController {
     pending: VecDeque<CtrlCmd>,
     chips: Vec<SerialResource>,
     buses: Vec<SerialResource>,
+    /// Completed responses awaiting their modelled finish instant,
+    /// indexed by the slot a [`Finish`] self-send carries.
+    finish_slots: Vec<Option<(CtrlResp, ComponentId)>>,
+    free_finish: Vec<u32>,
     stats: CtrlStats,
 }
 
@@ -200,6 +222,8 @@ impl FlashController {
             pending: VecDeque::new(),
             chips: vec![SerialResource::new(); geom.total_chips()],
             buses: vec![SerialResource::new(); geom.buses],
+            finish_slots: Vec::new(),
+            free_finish: Vec::new(),
             stats: CtrlStats::default(),
         }
     }
@@ -269,13 +293,22 @@ impl FlashController {
     }
 
     /// Compute the completion time of a command accepted at `now` and run
-    /// the functional operation. Returns `(finish_time, response)`.
-    fn execute(&mut self, now: SimTime, cmd: CtrlCmd) -> (SimTime, Finish) {
+    /// the functional operation against `pages`, the simulator's page
+    /// store. Returns `(finish_time, response, reply_target)`.
+    fn execute(
+        &mut self,
+        now: SimTime,
+        pages: &mut PageStore,
+        cmd: CtrlCmd,
+    ) -> (SimTime, CtrlResp, ComponentId) {
         let accept = now + self.timing.command_overhead;
         match cmd {
             CtrlCmd::Read { tag, ppa, reply_to } => {
                 let page_bytes = self.array.geometry().page_bytes as u64;
-                let result = self.array.read(ppa);
+                let result = self.array.read(ppa).map(|r| PageRead {
+                    page: pages.alloc_from(&r.data),
+                    corrected_words: r.corrected_words,
+                });
                 let done = if self.array.geometry().contains(ppa) {
                     let ci = self.chip_index(ppa);
                     let cell = self.chips[ci].acquire(accept, self.timing.read_cell);
@@ -293,14 +326,12 @@ impl FlashController {
                 }
                 (
                     done,
-                    Finish {
-                        resp: CtrlResp::ReadDone {
-                            tag,
-                            result,
-                            issued_at: now,
-                        },
-                        reply_to,
+                    CtrlResp::ReadDone {
+                        tag,
+                        result,
+                        issued_at: now,
                     },
+                    reply_to,
                 )
             }
             CtrlCmd::Write {
@@ -309,23 +340,23 @@ impl FlashController {
                 data,
                 reply_to,
             } => {
-                let result = self.array.program(ppa, &data);
+                let bytes = pages.len(data);
+                let result = self.array.program(ppa, pages.get(data));
+                // The write buffer "will be returned to the free queue
+                // when the hardware has finished reading the data from
+                // the buffer" (paper Section 3.3): the functional copy
+                // above is that read, so the handle is consumed here.
+                pages.free(data);
                 let done = if self.array.geometry().contains(ppa) {
                     let xfer = self.buses[ppa.bus as usize]
-                        .acquire(accept, self.timing.transfer_time(data.len()));
+                        .acquire(accept, self.timing.transfer_time(bytes));
                     let ci = self.chip_index(ppa);
                     let prog = self.chips[ci].acquire(xfer.end, self.timing.program_cell);
                     prog.end
                 } else {
                     accept
                 };
-                (
-                    done,
-                    Finish {
-                        resp: CtrlResp::WriteDone { tag, result },
-                        reply_to,
-                    },
-                )
+                (done, CtrlResp::WriteDone { tag, result }, reply_to)
             }
             CtrlCmd::Erase { tag, ppa, reply_to } => {
                 let result = self.array.erase(ppa);
@@ -335,13 +366,7 @@ impl FlashController {
                 } else {
                     accept
                 };
-                (
-                    done,
-                    Finish {
-                        resp: CtrlResp::EraseDone { tag, result },
-                        reply_to,
-                    },
-                )
+                (done, CtrlResp::EraseDone { tag, result }, reply_to)
             }
         }
     }
@@ -349,8 +374,19 @@ impl FlashController {
     fn issue<M: FlashProtocol>(&mut self, ctx: &mut Ctx<'_, M>, cmd: CtrlCmd) {
         self.in_flight += 1;
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
-        let (done, finish) = self.execute(ctx.now(), cmd);
-        ctx.send_self(done - ctx.now(), FlashMsg::Finish(finish));
+        let now = ctx.now();
+        let (done, resp, reply_to) = self.execute(now, ctx.pages(), cmd);
+        let slot = match self.free_finish.pop() {
+            Some(slot) => {
+                self.finish_slots[slot as usize] = Some((resp, reply_to));
+                slot
+            }
+            None => {
+                self.finish_slots.push(Some((resp, reply_to)));
+                (self.finish_slots.len() - 1) as u32
+            }
+        };
+        ctx.send_self(done - now, FlashMsg::Finish(Finish { slot }));
     }
 
     /// Per-message logic shared by [`Component::handle`] and the batch
@@ -365,7 +401,11 @@ impl FlashController {
                     self.issue(ctx, cmd);
                 }
             }
-            FlashMsg::Finish(Finish { resp, reply_to }) => {
+            FlashMsg::Finish(Finish { slot }) => {
+                let (resp, reply_to) = self.finish_slots[slot as usize]
+                    .take()
+                    .expect("finish for a slot the controller never armed");
+                self.free_finish.push(slot);
                 self.in_flight -= 1;
                 ctx.send(reply_to, SimTime::ZERO, FlashMsg::Resp(resp));
                 if self.in_flight < self.tag_limit {
@@ -428,7 +468,7 @@ mod tests {
             };
             match resp {
                 CtrlResp::ReadDone { tag, result, .. } => match result {
-                    Ok(r) => self.reads.push((tag, r.data, ctx.now())),
+                    Ok(r) => self.reads.push((tag, ctx.pages().take(r.page), ctx.now())),
                     Err(e) => self.errors.push((tag, e)),
                 },
                 CtrlResp::WriteDone { tag, result } => match result {
@@ -458,13 +498,14 @@ mod tests {
         let geom = FlashGeometry::tiny();
         let ppa = Ppa::new(0, 0, 0, 0);
         let data = vec![0x77u8; geom.page_bytes];
+        let buffer = sim.page_store_mut().alloc_from(&data);
         sim.schedule(
             SimTime::ZERO,
             ctrl,
             CtrlCmd::Write {
                 tag: Tag(1),
                 ppa,
-                data: data.clone(),
+                data: buffer,
                 reply_to: client,
             },
         );
@@ -492,6 +533,7 @@ mod tests {
         assert_eq!(c.writes, vec![Tag(1)]);
         assert_eq!(c.reads.len(), 1);
         assert_eq!(c.reads[0].1, data);
+        sim.page_store().assert_quiescent();
     }
 
     #[test]

@@ -56,8 +56,9 @@ pub struct ServerResp {
     pub seq: u64,
     /// The physical page that was read.
     pub ppa: Ppa,
-    /// Page contents or the failure.
-    pub result: Result<Vec<u8>, FlashError>,
+    /// Handle to the page contents in the simulator's page store (the
+    /// client owns and must free it), or the failure.
+    pub result: Result<bluedbm_sim::PageRef, FlashError>,
 }
 
 #[derive(Default)]
@@ -270,7 +271,7 @@ impl<M: FlashProtocol> Component<M> for FlashServer {
             ServerResp {
                 seq: fl.seq,
                 ppa: fl.ppa,
-                result: result.map(|r| r.data),
+                result: result.map(|r| r.page),
             },
         );
         if let Some((client, seq, ppa)) = self.waiting.pop_front() {
@@ -295,12 +296,14 @@ mod tests {
     }
 
     impl Component<FlashMsg> for Client {
-        fn handle(&mut self, _ctx: &mut Ctx<'_, FlashMsg>, msg: FlashMsg) {
+        fn handle(&mut self, ctx: &mut Ctx<'_, FlashMsg>, msg: FlashMsg) {
             let FlashMsg::ServerResp(r) = msg else {
                 panic!("ServerResp expected")
             };
             self.seqs.push(r.seq);
-            self.pages.push(r.result);
+            // Consume the page buffer (copy out + free), the software
+            // side of the paper's read-buffer discipline.
+            self.pages.push(r.result.map(|page| ctx.pages().take(page)));
         }
     }
 

@@ -252,13 +252,16 @@ mod tests {
                 reply_to: c1,
             },
         );
+        let buffer = sim
+            .page_store_mut()
+            .alloc_from(&vec![1u8; FlashGeometry::tiny().page_bytes]);
         sim.schedule(
             SimTime::ZERO,
             split,
             CtrlCmd::Write {
                 tag: Tag(43),
                 ppa: Ppa::new(0, 0, 1, 0),
-                data: vec![1u8; FlashGeometry::tiny().page_bytes],
+                data: buffer,
                 reply_to: c1,
             },
         );

@@ -16,7 +16,9 @@
 //! * [`PcieParams`] — bandwidth caps and latency constants.
 //! * [`PcieLink`] — DES component serializing transfers in each
 //!   direction; send it [`PcieXfer`]s, receive [`PcieDone`]s.
-//! * [`BufferPool`] — the free-queue discipline of the 128 page buffers.
+//! * [`BufferPool`] — the free-queue discipline of the 128 page
+//!   buffers, as a capacity view over the simulator's shared
+//!   `PageStore`.
 //! * [`ReorderQueue`] — per-buffer FIFOs that accumulate interleaved
 //!   flash bursts until a DMA burst is contiguous.
 

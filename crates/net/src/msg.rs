@@ -11,6 +11,12 @@ use bluedbm_sim::Message;
 use crate::router::{CreditReturn, E2eAck, NetRecv, NetSend, Wire};
 
 /// Union of every message a network component sends or receives.
+///
+/// `Wire` is boxed: it stacks per-hop routing metadata (timing, credit
+/// provenance) on top of the packet, which would otherwise dominate the
+/// size of every composed message enum. The box is allocated once at
+/// injection and **reused across every hop** of the packet's path, so
+/// forwarding still allocates nothing.
 #[derive(Debug)]
 pub enum NetMsg<B> {
     /// Local sender asks its router to inject a packet.
@@ -18,7 +24,7 @@ pub enum NetMsg<B> {
     /// Router delivers a packet to an endpoint consumer.
     Recv(NetRecv<B>),
     /// Router-to-router transfer (head arrival).
-    Wire(Wire<B>),
+    Wire(Box<Wire<B>>),
     /// Link-layer credit returned by the downstream router.
     Credit(CreditReturn),
     /// End-to-end flow-control acknowledgement.

@@ -115,7 +115,7 @@ struct Egress<B> {
     peer: ComponentId,
     credits: u32,
     lane: SerialResource,
-    queue: VecDeque<Wire<B>>,
+    queue: VecDeque<Box<Wire<B>>>,
 }
 
 /// Cumulative router statistics.
@@ -200,7 +200,7 @@ impl<B: 'static> Router<B> {
         self.node
     }
 
-    fn transmit<M>(&mut self, ctx: &mut Ctx<'_, M>, port: PortId, wire: Wire<B>)
+    fn transmit<M>(&mut self, ctx: &mut Ctx<'_, M>, port: PortId, mut wire: Box<Wire<B>>)
     where
         M: NetProtocol<Body = B>,
     {
@@ -224,25 +224,20 @@ impl<B: 'static> Router<B> {
             );
         }
         let me = ctx.self_id();
-        ctx.send(
-            egress.peer,
-            grant.start + self.params.hop_latency - ctx.now(),
-            NetMsg::Wire(Wire {
-                packet: wire.packet,
-                tail_lag: ptime,
-                sent_at: wire.sent_at,
-                via: Some((me, port)),
-                wants_ack: wire.wants_ack,
-            }),
-        );
+        // Re-stamp the hop fields in place: the box allocated at
+        // injection rides the whole path.
+        wire.tail_lag = ptime;
+        wire.via = Some((me, port));
+        let delay = grant.start + self.params.hop_latency - ctx.now();
+        ctx.send(egress.peer, delay, NetMsg::Wire(wire));
     }
 
-    fn route_or_deliver<M>(&mut self, ctx: &mut Ctx<'_, M>, wire: Wire<B>)
+    fn route_or_deliver<M>(&mut self, ctx: &mut Ctx<'_, M>, wire: Box<Wire<B>>)
     where
         M: NetProtocol<Body = B>,
     {
         if wire.packet.dst == self.node {
-            self.deliver(ctx, wire);
+            self.deliver(ctx, *wire);
             return;
         }
         let port = self
@@ -257,6 +252,8 @@ impl<B: 'static> Router<B> {
         self.transmit(ctx, port, wire);
     }
 
+    /// Terminal hop: the packet's journey (and its box) end here, so the
+    /// caller unboxes.
     fn deliver<M>(&mut self, ctx: &mut Ctx<'_, M>, wire: Wire<B>)
     where
         M: NetProtocol<Body = B>,
@@ -356,15 +353,17 @@ impl<B: 'static> Router<B> {
         };
         *seq += 1;
         let wants_ack = self.e2e_credits.contains_key(&packet.endpoint);
+        // The one allocation of the packet's life: this box is reused
+        // hop to hop until `deliver` consumes it.
         self.route_or_deliver(
             ctx,
-            Wire {
+            Box::new(Wire {
                 packet,
                 tail_lag: SimTime::ZERO,
                 sent_at: ctx.now(),
                 via: None,
                 wants_ack,
-            },
+            }),
         );
     }
 }

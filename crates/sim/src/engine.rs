@@ -43,13 +43,19 @@
 //!   train-level processing via [`Component::handle_batch`]; the default
 //!   implementation falls back to per-message [`Component::handle`], so
 //!   batching is transparent to existing models and never changes
-//!   delivery order.
+//!   delivery order;
+//! * bulk payloads (flash pages) live in the simulator-owned
+//!   [`PageStore`] and cross the system as 8-byte
+//!   [`PageRef`](crate::PageRef) handles, so messages stay
+//!   cache-line-sized — [`Ctx::pages`] is the component-side window into
+//!   the store, and [`ComponentId`] is a `u32` for the same reason.
 
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
 
 use crate::arena::ComponentArena;
+use crate::pagestore::PageStore;
 use crate::time::SimTime;
 
 /// Marker for types usable as a simulation's message type. Blanket-implemented
@@ -61,15 +67,22 @@ impl<T: Sized + 'static> Message for T {}
 /// Handle to a component registered with a [`Simulator`].
 ///
 /// Ids are small dense integers, assigned in registration order, so they
-/// can be stored freely in routing tables and config structures.
+/// can be stored freely in routing tables and config structures. Stored
+/// as a `u32` so queue entries stay compact — four billion components is
+/// far past any simulation this kernel will host.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ComponentId(usize);
+pub struct ComponentId(u32);
 
 impl ComponentId {
     /// The raw index (useful for building lookup tables keyed by id).
     #[inline]
     pub fn index(self) -> usize {
-        self.0
+        self.0 as usize
+    }
+
+    #[inline]
+    fn from_index(index: usize) -> Self {
+        ComponentId(u32::try_from(index).expect("component count fits u32"))
     }
 }
 
@@ -391,6 +404,7 @@ pub struct Ctx<'a, M: Message> {
     now: SimTime,
     self_id: ComponentId,
     queues: &'a mut Queues<M>,
+    pages: &'a mut PageStore,
 }
 
 impl<M: Message> Ctx<'_, M> {
@@ -404,6 +418,16 @@ impl<M: Message> Ctx<'_, M> {
     #[inline]
     pub fn self_id(&self) -> ComponentId {
         self.self_id
+    }
+
+    /// The simulator-owned [`PageStore`]: allocate payload pages here and
+    /// send the returned [`crate::PageRef`] handles through messages
+    /// instead of inline byte buffers. See the [`crate::pagestore`] docs
+    /// for the ownership discipline (every page must eventually be freed
+    /// by its consumer).
+    #[inline]
+    pub fn pages(&mut self) -> &mut PageStore {
+        self.pages
     }
 
     /// Schedule `msg` for delivery to `to` after `delay` (zero is allowed;
@@ -430,6 +454,7 @@ pub struct Simulator<M: Message> {
     delivered: u64,
     queues: Queues<M>,
     components: ComponentArena<M>,
+    pages: PageStore,
 }
 
 impl<M: Message> Default for Simulator<M> {
@@ -452,7 +477,37 @@ impl<M: Message> Simulator<M> {
             delivered: 0,
             queues: Queues::with_capacity(events),
             components: ComponentArena::new(),
+            pages: PageStore::new(),
         }
+    }
+
+    /// Shared access to the simulator-owned [`PageStore`] (leak audits,
+    /// occupancy introspection).
+    #[inline]
+    pub fn page_store(&self) -> &PageStore {
+        &self.pages
+    }
+
+    /// Exclusive access to the [`PageStore`] — how experiment drivers
+    /// stage page payloads before injecting messages, and harvest them
+    /// after a run.
+    #[inline]
+    pub fn page_store_mut(&mut self) -> &mut PageStore {
+        &mut self.pages
+    }
+
+    /// Size in bytes of one fast-queue entry (the same-instant FIFO's
+    /// element: key + target + inline message). Recorded into the bench
+    /// trajectory so payload-slimming regressions are visible.
+    #[inline]
+    pub fn fast_queue_entry_bytes() -> usize {
+        std::mem::size_of::<FastEvent<M>>()
+    }
+
+    /// Size in bytes of one index-heap entry (`(time, seq, slot)`).
+    #[inline]
+    pub fn heap_entry_bytes() -> usize {
+        std::mem::size_of::<HeapEntry>()
     }
 
     /// Current simulated time (the timestamp of the last delivered event,
@@ -496,7 +551,7 @@ impl<M: Message> Simulator<M> {
 
     /// Register a component and return its id.
     pub fn add_component<C: Component<M>>(&mut self, component: C) -> ComponentId {
-        ComponentId(self.components.add(Box::new(component)))
+        ComponentId::from_index(self.components.add(Box::new(component)))
     }
 
     /// Reserve an id without installing a component yet.
@@ -505,7 +560,7 @@ impl<M: Message> Simulator<M> {
     /// id, the link needs the switch's); reserving ids first breaks the
     /// cycle. Sending to a reserved-but-uninstalled id panics at delivery.
     pub fn reserve(&mut self) -> ComponentId {
-        ComponentId(self.components.reserve())
+        ComponentId::from_index(self.components.reserve())
     }
 
     /// Install a component into a previously [`reserve`](Self::reserve)d slot.
@@ -514,7 +569,7 @@ impl<M: Message> Simulator<M> {
     ///
     /// Panics if the slot is already occupied.
     pub fn install<C: Component<M>>(&mut self, id: ComponentId, component: C) {
-        self.components.install(id.0, Box::new(component));
+        self.components.install(id.index(), Box::new(component));
     }
 
     /// Typed shared access to a component's state.
@@ -523,13 +578,13 @@ impl<M: Message> Simulator<M> {
     /// not `C`. This is how experiment drivers read statistics out of
     /// models after a run.
     pub fn component<C: Component<M>>(&self, id: ComponentId) -> Option<&C> {
-        let c = self.components.get(id.0)?;
+        let c = self.components.get(id.index())?;
         (c as &dyn Any).downcast_ref::<C>()
     }
 
     /// Typed exclusive access to a component's state.
     pub fn component_mut<C: Component<M>>(&mut self, id: ComponentId) -> Option<&mut C> {
-        let c = self.components.get_mut_checked(id.0)?;
+        let c = self.components.get_mut_checked(id.index())?;
         (c as &mut dyn Any).downcast_mut::<C>()
     }
 
@@ -554,11 +609,12 @@ impl<M: Message> Simulator<M> {
         self.now = at;
         self.delivered += 1;
 
-        let component = self.components.get_mut(to.0);
+        let component = self.components.get_mut(to.index());
         let mut ctx = Ctx {
             now: at,
             self_id: to,
             queues: &mut self.queues,
+            pages: &mut self.pages,
         };
         component.handle(&mut ctx, msg);
     }
@@ -578,11 +634,12 @@ impl<M: Message> Simulator<M> {
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
 
-        let component = self.components.get_mut(to.0);
+        let component = self.components.get_mut(to.index());
         let mut ctx = Ctx {
             now: at,
             self_id: to,
             queues: &mut self.queues,
+            pages: &mut self.pages,
         };
         if !ctx.queues.next_matches(at, to) {
             // Singleton event: plain per-message dispatch.
@@ -1178,6 +1235,56 @@ mod tests {
         let p = sim.component::<BatchProbe>(id).unwrap();
         assert_eq!(p.log.len(), 6);
         assert_eq!(p.batches, 2);
+    }
+
+    #[test]
+    fn pages_travel_by_handle_between_components() {
+        use crate::pagestore::PageRef;
+
+        struct PageMsg(PageRef);
+
+        /// Allocates a page, fills it, ships the handle.
+        struct Producer {
+            to: ComponentId,
+        }
+        impl Component<PageMsg> for Producer {
+            fn handle(&mut self, ctx: &mut Ctx<'_, PageMsg>, PageMsg(kick): PageMsg) {
+                ctx.pages().free(kick);
+                let page = ctx.pages().alloc_from(b"payload bytes");
+                ctx.send(self.to, SimTime::us(1), PageMsg(page));
+            }
+        }
+
+        /// Consumes (copies out + frees) every page it receives.
+        struct Consumer {
+            seen: Vec<Vec<u8>>,
+        }
+        impl Component<PageMsg> for Consumer {
+            fn handle(&mut self, ctx: &mut Ctx<'_, PageMsg>, PageMsg(page): PageMsg) {
+                self.seen.push(ctx.pages().take(page));
+            }
+        }
+
+        let mut sim = Simulator::new();
+        let consumer = sim.reserve();
+        let producer = sim.add_component(Producer { to: consumer });
+        sim.install(consumer, Consumer { seen: vec![] });
+        let kick = sim.page_store_mut().alloc(1);
+        sim.schedule(SimTime::ZERO, producer, PageMsg(kick));
+        sim.run();
+        assert_eq!(
+            sim.component::<Consumer>(consumer).unwrap().seen,
+            vec![b"payload bytes".to_vec()]
+        );
+        sim.page_store().assert_quiescent();
+    }
+
+    #[test]
+    fn entry_size_accessors_report_compact_layouts() {
+        // A zero-sized message: the fast-queue entry is the fixed
+        // overhead alone (16-byte key + 4-byte target, padded).
+        assert_eq!(Simulator::<()>::heap_entry_bytes(), 24);
+        assert!(Simulator::<()>::fast_queue_entry_bytes() <= 24);
     }
 
     #[test]

@@ -31,16 +31,39 @@
 //! microbenches, network-only experiments) instantiate the kernel
 //! directly over the subsystem's own enum.
 //!
+//! ## Page payloads travel by handle
+//!
+//! "Inline" is for *control* fields. Bulk payloads (flash pages) live in
+//! the simulator-owned [`PageStore`] and cross the system as 8-byte,
+//! generation-tagged [`PageRef`] handles: the producer allocates and
+//! fills a page once (`ctx.pages().alloc_from(..)`), every hop moves
+//! only the handle, and the single consumer frees it
+//! (`ctx.pages().take(..)` to copy out, or `free`). Stale handles and
+//! double frees panic immediately; leaks are caught by
+//! [`PageStore::assert_quiescent`] at simulation end. This keeps message
+//! enums cache-line-sized (`bluedbm_core::Msg` asserts `<= 64` bytes at
+//! compile time) and makes fixed buffer budgets — the paper's 128
+//! host-interface page buffers, `bluedbm_host::BufferPool` — enforceable
+//! as capacity views over the one shared store.
+//!
 //! ### Adding a new message variant
 //!
 //! 1. Define the payload struct and add a variant for it to the owning
 //!    crate's protocol enum (plus a `From<Payload>` impl for ergonomic
-//!    `ctx.send(to, delay, payload)` call sites).
+//!    `ctx.send(to, delay, payload)` call sites). Carry bulk data as a
+//!    [`PageRef`] into the simulator's [`PageStore`], never as an inline
+//!    `Vec<u8>`, and decide which component is the handle's one consumer
+//!    (who frees it).
 //! 2. Handle the variant in the receiving component's
 //!    [`Component::handle`] `match`; unknown variants should `panic!` —
 //!    they indicate mis-wiring, not a runtime condition.
 //! 3. If the payload must cross the workspace composition, add the
 //!    corresponding arm to `bluedbm_core::Msg`'s `From`/protocol impls.
+//!    `Msg` is **flat** (one discriminant level) and budgeted: the
+//!    compile-time assertion in `bluedbm_core::msg` fails the build if
+//!    the new variant pushes `size_of::<Msg>()` past 64 bytes — slim the
+//!    variant (handles, boxed cold metadata) rather than raising the
+//!    budget.
 //!
 //! ## Example
 //!
@@ -80,12 +103,14 @@
 
 mod arena;
 pub mod engine;
+pub mod pagestore;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Batch, Component, ComponentId, Ctx, Message, Simulator};
+pub use pagestore::{PageRef, PageStore};
 pub use resource::{MultiResource, SerialResource};
 pub use rng::Rng;
 pub use stats::{Counter, Histogram, MeanTracker, Throughput};

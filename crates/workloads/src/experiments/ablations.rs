@@ -220,8 +220,9 @@ pub fn flash_server_depth() -> Sweep {
             let FlashMsg::ServerResp(r) = msg else {
                 panic!("ServerResp expected")
             };
-            if let Ok(data) = &r.result {
-                self.bytes += data.len() as u64;
+            if let Ok(page) = r.result {
+                self.bytes += ctx.pages().len(page) as u64;
+                ctx.pages().free(page);
                 self.last = ctx.now();
             }
         }

@@ -21,6 +21,9 @@ mkdir -p "$(dirname "$out")"
 
 export BLUEDBM_BENCH_JSON="$out"
 
+echo "== layout sizes: Msg / queue entries (fails if Msg > 64 bytes) =="
+cargo run -p bluedbm-bench --release --quiet --bin sizes
+
 echo "== sim_throughput: typed kernel vs boxed baseline, cluster events/sec =="
 cargo bench -p bluedbm-bench --bench sim_throughput
 
