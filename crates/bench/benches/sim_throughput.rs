@@ -348,7 +348,7 @@ impl StoreShape for PageCmd {
 struct TypedTrainSource<T> {
     sink: ComponentId,
     rounds_left: u64,
-    _shape: std::marker::PhantomData<T>,
+    _shape: std::marker::PhantomData<fn() -> T>,
 }
 
 impl<T: StoreShape> Component<T> for TypedTrainSource<T> {
@@ -370,7 +370,7 @@ impl<T: StoreShape> Component<T> for TypedTrainSource<T> {
 /// consumed with one component fetch and one virtual call.
 struct TypedBatchSink<T> {
     seen: u64,
-    _shape: std::marker::PhantomData<T>,
+    _shape: std::marker::PhantomData<fn() -> T>,
 }
 
 impl<T: StoreShape> Component<T> for TypedBatchSink<T> {
@@ -660,9 +660,9 @@ fn bench_cluster_events(c: &mut Criterion) {
     // reads.
     let events_per_run = {
         let (mut cluster, addrs) = fig13_setup(READS);
-        let before = cluster.sim_mut().events_delivered();
+        let before = cluster.events_delivered();
         cluster.stream_reads(NodeId(0), &addrs, Consume::Isp);
-        cluster.sim_mut().events_delivered() - before
+        cluster.events_delivered() - before
     };
     let mut g = c.benchmark_group("sim_throughput");
     g.throughput(Throughput::Elements(events_per_run));
@@ -702,9 +702,9 @@ fn bench_mesh_scale(c: &mut Criterion) {
     ] {
         let events_per_run = {
             let (mut cluster, addrs) = mesh8x8_setup();
-            let before = cluster.sim_mut().events_delivered();
+            let before = cluster.events_delivered();
             cluster.stream_reads(NodeId(0), &addrs, consume);
-            cluster.sim_mut().events_delivered() - before
+            cluster.events_delivered() - before
         };
         let mut g = c.benchmark_group("sim_throughput");
         g.throughput(Throughput::Elements(events_per_run));
@@ -736,11 +736,85 @@ fn mesh8x8_setup() -> (Cluster, Vec<bluedbm_core::GlobalPageAddr>) {
     (cluster, addrs)
 }
 
+/// The sharded-engine scaling scenarios: an **all-to-all** scatter
+/// (every node streams remote reads at one instant, so the whole fabric
+/// — not just one reader — is busy) on the same topology across 1, 2
+/// and 4 worker shards, plus a 256-node `mesh16x16` stream, 12.8× the
+/// paper's rack. The `sharded1` row is the sequential engine on the
+/// identical workload: the scaling curve in `BENCH_engine.json` is the
+/// events/sec ratio against it. Shard counts beyond the host's
+/// available cores measure protocol overhead, not parallelism — read
+/// the curve next to the recorded `meta/host_cpus` row.
+fn bench_sharded_scale(c: &mut Criterion) {
+    let scenarios: [(&str, usize, usize, usize, usize); 4] = [
+        ("mesh8x8_scatter_sharded1", 8, 8, 1, 10),
+        ("mesh8x8_scatter_sharded2", 8, 8, 2, 10),
+        ("mesh8x8_scatter_sharded4", 8, 8, 4, 10),
+        ("mesh16x16_scatter_stream", 16, 16, 4, 4),
+    ];
+    for (name, rows, cols, shards, reads_per_node) in scenarios {
+        let setup = || scatter_setup(rows, cols, shards, reads_per_node);
+        let run = |(mut cluster, reads): (Cluster, Vec<(NodeId, bluedbm_core::GlobalPageAddr)>)| {
+            for &(reader, addr) in &reads {
+                cluster.inject_read(reader, addr, Consume::Isp);
+            }
+            cluster.run_to_quiescence();
+            black_box(cluster.events_delivered())
+        };
+        let events_per_run = {
+            let (cluster, reads) = setup();
+            let before = cluster.events_delivered();
+            run((cluster, reads)) - before
+        };
+        let mut g = c.benchmark_group("sim_throughput");
+        g.throughput(Throughput::Elements(events_per_run));
+        g.bench_function(name, |b| {
+            b.iter_batched(setup, run, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}
+
+/// Build a `rows x cols` mesh on `shards` worker shards with every node
+/// holding preloaded pages, and the all-to-all read list (each node
+/// reads `reads_per_node` pages scattered over the other nodes).
+fn scatter_setup(
+    rows: usize,
+    cols: usize,
+    shards: usize,
+    reads_per_node: usize,
+) -> (Cluster, Vec<(NodeId, bluedbm_core::GlobalPageAddr)>) {
+    const PAGES_PER_NODE: usize = 4;
+    let mut config = SystemConfig::scaled_down();
+    config.sim.shards = shards;
+    let mut cluster = Cluster::new(NetTopology::mesh2d(rows, cols), &config).unwrap();
+    let n = cluster.node_count();
+    let page = vec![0u8; config.flash.geometry.page_bytes];
+    let mut addrs = Vec::with_capacity(n);
+    for node in 0..n {
+        let node_addrs: Vec<_> = (0..PAGES_PER_NODE)
+            .map(|_| cluster.preload_page(NodeId::from(node), &page).unwrap())
+            .collect();
+        addrs.push(node_addrs);
+    }
+    let mut reads = Vec::with_capacity(n * reads_per_node);
+    for reader in 0..n {
+        for r in 0..reads_per_node {
+            let mut target = (reader + 1 + r * 5) % n;
+            if target == reader {
+                target = (target + 1) % n;
+            }
+            reads.push((NodeId::from(reader), addrs[target][r % PAGES_PER_NODE]));
+        }
+    }
+    (cluster, reads)
+}
+
 criterion_group! {
     name = benches;
     // Short sampling: these are smoke-level performance numbers, and the
     // full suite must run in CI time.
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_kernels, bench_trains, bench_cluster_events, bench_mesh_scale
+    targets = bench_kernels, bench_trains, bench_cluster_events, bench_mesh_scale, bench_sharded_scale
 }
 criterion_main!(benches);

@@ -16,15 +16,128 @@ use bluedbm_flash::error::FlashError;
 use bluedbm_flash::splitter::FlashSplitter;
 use bluedbm_host::pcie::PcieLink;
 use bluedbm_net::router::{build_network, Router, RouterStats};
-use bluedbm_net::topology::{NodeId, Topology};
-use bluedbm_sim::engine::{ComponentId, Simulator};
+use bluedbm_net::topology::{NodeId, PortId, Topology};
+use bluedbm_sim::engine::{Component, ComponentId, Simulator};
+use bluedbm_sim::shard::ShardedSimulator;
 use bluedbm_sim::time::SimTime;
+use bluedbm_sim::PageRef;
 
 use crate::config::SystemConfig;
 use crate::msg::{Msg, NetBody};
-use crate::node::{AgentOp, Completed, Consume, NodeAgent, DATA_ENDPOINTS, REQUEST_ENDPOINT};
+use crate::node::{AgentOp, AgentStats, Completed, Consume, NodeAgent, DATA_ENDPOINTS, REQUEST_ENDPOINT};
 
 pub use crate::node::GlobalPageAddr;
+
+/// The execution engine behind a [`Cluster`]: the sequential typed
+/// kernel, or the conservative-parallel sharded runtime when
+/// `config.sim.shards > 1`. Sharded runs are deterministic and
+/// observably identical to sequential runs (same statistics, same event
+/// counts, same store quiescence) — the engine choice is a wall-clock
+/// decision, never a modelling one.
+enum Engine {
+    // Boxed: the sequential simulator is a large inline struct and
+    // `Cluster` moves around in tests; the sharded variant is already a
+    // handle over heap state.
+    Seq(Box<Simulator<Msg>>),
+    Sharded(ShardedSimulator<Msg>),
+}
+
+impl Engine {
+    fn run(&mut self) {
+        match self {
+            Engine::Seq(sim) => sim.run(),
+            Engine::Sharded(sim) => sim.run(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            Engine::Seq(sim) => sim.now(),
+            Engine::Sharded(sim) => sim.now(),
+        }
+    }
+
+    fn events_delivered(&self) -> u64 {
+        match self {
+            Engine::Seq(sim) => sim.events_delivered(),
+            Engine::Sharded(sim) => sim.events_delivered(),
+        }
+    }
+
+    fn schedule<T: Into<Msg>>(&mut self, delay: SimTime, to: ComponentId, msg: T) {
+        match self {
+            Engine::Seq(sim) => sim.schedule(delay, to, msg),
+            Engine::Sharded(sim) => sim.schedule(delay, to, msg),
+        }
+    }
+
+    fn component<C: Component<Msg>>(&self, id: ComponentId) -> Option<&C> {
+        match self {
+            Engine::Seq(sim) => sim.component::<C>(id),
+            Engine::Sharded(sim) => sim.component::<C>(id),
+        }
+    }
+
+    fn component_mut<C: Component<Msg>>(&mut self, id: ComponentId) -> Option<&mut C> {
+        match self {
+            Engine::Seq(sim) => sim.component_mut::<C>(id),
+            Engine::Sharded(sim) => sim.component_mut::<C>(id),
+        }
+    }
+
+    /// Stage a page into the store segment the component `consumer`
+    /// reads from (the shared store on the sequential engine, the owning
+    /// shard's segment on the sharded one).
+    fn stage_page(&mut self, consumer: ComponentId, data: &[u8]) -> PageRef {
+        match self {
+            Engine::Seq(sim) => sim.page_store_mut().alloc_from(data),
+            Engine::Sharded(sim) => {
+                let shard = sim.owner_of(consumer).expect("consumer installed");
+                sim.page_store_mut(shard).alloc_from(data)
+            }
+        }
+    }
+
+    fn assert_quiescent(&self) {
+        match self {
+            Engine::Seq(sim) => {
+                sim.page_store().assert_quiescent();
+                sim.pool_store().assert_quiescent();
+            }
+            Engine::Sharded(sim) => sim.assert_quiescent(),
+        }
+    }
+}
+
+/// Contiguous block partition of `nodes` across `shards` — row bands on
+/// the row-major mesh builders, so most cables stay shard-internal.
+/// More shards than nodes clamps to one node per shard (a shard that
+/// owns nothing would still pay every synchronization round).
+fn block_partition(nodes: usize, shards: usize) -> Vec<u32> {
+    let shards = shards.min(nodes).max(1);
+    (0..nodes).map(|n| (n * shards / nodes.max(1)) as u32).collect()
+}
+
+/// The conservative lookahead of a partition: the minimum latency of any
+/// cable whose endpoints live in different shards. Every link shares one
+/// hop latency today; written as a min-fold so per-link latencies stay
+/// easy to introduce.
+fn cross_shard_lookahead(topo: &Topology, partition: &[u32], hop_latency: SimTime) -> SimTime {
+    let mut lookahead: Option<SimTime> = None;
+    for node in 0..topo.node_count() {
+        for port in 0..Topology::MAX_PORTS {
+            let Some((peer, _)) = topo.peer(NodeId::from(node), PortId(port as u8)) else {
+                continue;
+            };
+            if partition[node] != partition[peer.index()] {
+                lookahead = Some(lookahead.map_or(hop_latency, |l| l.min(hop_latency)));
+            }
+        }
+    }
+    // No cross-shard cable: the only cross-shard traffic left is the
+    // direct end-to-end ack, which also pays >= one hop of latency.
+    lookahead.unwrap_or(hop_latency)
+}
 
 /// Errors surfaced by the cluster facade.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,13 +189,15 @@ pub struct CompletedRead {
 /// A DES world of BlueDBM nodes. See the
 /// [crate-level documentation](crate) for an example.
 pub struct Cluster {
-    sim: Simulator<Msg>,
+    engine: Engine,
     config: SystemConfig,
     topo: Topology,
     routers: Vec<ComponentId>,
     agents: Vec<ComponentId>,
     pcie: Vec<ComponentId>,
     controllers: Vec<Vec<ComponentId>>,
+    /// Node -> shard map (all zeros on the sequential engine).
+    partition: Vec<u32>,
     /// Next unallocated linear page per (node, card).
     bump: Vec<Vec<usize>>,
     next_op: u64,
@@ -97,12 +212,42 @@ impl Cluster {
     /// to validate configurations (and keeps call sites uniform with the
     /// other constructors).
     pub fn new(topo: Topology, config: &SystemConfig) -> Result<Self, ClusterError> {
+        let partition = block_partition(topo.node_count(), config.sim.shards.max(1));
+        Self::with_partition(topo, config, &partition)
+    }
+
+    /// Build a cluster with an explicit node -> shard map (the shard
+    /// count is `max(partition) + 1`; a map of all zeros runs the
+    /// sequential engine). Every component of a node — router, flash
+    /// controllers, splitters, PCIe link, agent — is pinned to the
+    /// node's shard, so only inter-node traffic crosses shards and the
+    /// conservative lookahead is the minimum cross-shard link latency.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cluster::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition.len() != topo.node_count()`.
+    pub fn with_partition(
+        topo: Topology,
+        config: &SystemConfig,
+        partition: &[u32],
+    ) -> Result<Self, ClusterError> {
+        assert_eq!(
+            partition.len(),
+            topo.node_count(),
+            "partition must assign every node a shard"
+        );
+        let shards = partition.iter().map(|&s| s as usize + 1).max().unwrap_or(1);
         let mut sim = Simulator::new();
         let routers = build_network(&mut sim, &topo, config.net);
         let n = topo.node_count();
         let mut agents = Vec::with_capacity(n);
         let mut pcie = Vec::with_capacity(n);
         let mut controllers = Vec::with_capacity(n);
+        let mut splitters = Vec::with_capacity(n);
         for (node, &node_router) in routers.iter().enumerate() {
             let mut node_ctrls = Vec::new();
             let mut node_splitters = Vec::new();
@@ -124,7 +269,7 @@ impl Cluster {
                 NodeId::from(node),
                 node_router,
                 link,
-                node_splitters,
+                node_splitters.clone(),
                 config.flash.geometry.page_bytes,
                 config.host.dram_latency,
                 config.host.read_buffers,
@@ -139,9 +284,26 @@ impl Cluster {
             agents.push(agent);
             pcie.push(link);
             controllers.push(node_ctrls);
+            splitters.push(node_splitters);
         }
+        let engine = if shards <= 1 {
+            Engine::Seq(Box::new(sim))
+        } else {
+            let mut owner = vec![u32::MAX; sim.component_count()];
+            for node in 0..n {
+                let shard = partition[node];
+                owner[routers[node].index()] = shard;
+                owner[agents[node].index()] = shard;
+                owner[pcie[node].index()] = shard;
+                for c in controllers[node].iter().chain(&splitters[node]) {
+                    owner[c.index()] = shard;
+                }
+            }
+            let lookahead = cross_shard_lookahead(&topo, partition, config.net.hop_latency);
+            Engine::Sharded(ShardedSimulator::from_simulator(sim, owner, shards, lookahead))
+        };
         Ok(Cluster {
-            sim,
+            engine,
             config: *config,
             bump: vec![vec![0; config.flash.cards_per_node]; n],
             topo,
@@ -149,6 +311,7 @@ impl Cluster {
             agents,
             pcie,
             controllers,
+            partition: partition.to_vec(),
             next_op: 0,
         })
     }
@@ -185,7 +348,27 @@ impl Cluster {
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        self.engine.now()
+    }
+
+    /// Total simulation events delivered so far (aggregated across
+    /// shards on the sharded engine).
+    pub fn events_delivered(&self) -> u64 {
+        self.engine.events_delivered()
+    }
+
+    /// Worker shards executing this cluster (1 = sequential engine).
+    pub fn shard_count(&self) -> usize {
+        match &self.engine {
+            Engine::Seq(_) => 1,
+            Engine::Sharded(sim) => sim.shard_count(),
+        }
+    }
+
+    /// The node -> shard map in force (all zeros on the sequential
+    /// engine).
+    pub fn partition(&self) -> &[u32] {
+        &self.partition
     }
 
     /// Allocate the next free page on `node` (round-robin across cards,
@@ -230,15 +413,15 @@ impl Cluster {
     }
 
     fn harvest(&mut self, node: NodeId) -> Vec<Completed> {
-        self.sim
+        self.engine
             .component_mut::<NodeAgent>(self.agents[node.index()])
             .expect("agent installed")
             .take_completed()
     }
 
     fn run_one(&mut self, node: NodeId, op: AgentOp) -> Result<Completed, ClusterError> {
-        self.sim.schedule(SimTime::ZERO, self.agents[node.index()], op);
-        self.sim.run();
+        self.engine.schedule(SimTime::ZERO, self.agents[node.index()], op);
+        self.engine.run();
         let mut done = self.harvest(node);
         let one = done.pop().ok_or(ClusterError::MissingCompletion)?;
         debug_assert!(done.is_empty(), "single op produced multiple completions");
@@ -260,9 +443,10 @@ impl Cluster {
     ) -> Result<GlobalPageAddr, ClusterError> {
         let addr = self.alloc_page(node)?;
         let op_id = self.op_id();
-        // Stage the page in the simulator's store; the flash controller
+        // Stage the page in the simulator's store (the owning node's
+        // shard segment under the sharded engine); the flash controller
         // consumes (and frees) the handle once the bus has read it.
-        let buffer = self.sim.page_store_mut().alloc_from(data);
+        let buffer = self.engine.stage_page(self.agents[node.index()], data);
         self.run_one(node, AgentOp::WriteFlash { op_id, addr, data: buffer })?;
         Ok(addr)
     }
@@ -281,7 +465,7 @@ impl Cluster {
     ) -> Result<GlobalPageAddr, ClusterError> {
         let addr = self.alloc_page(node)?;
         let ctrl = self.controllers[node.index()][addr.card as usize];
-        self.sim
+        self.engine
             .component_mut::<FlashController>(ctrl)
             .expect("controller installed")
             .array_mut()
@@ -344,7 +528,7 @@ impl Cluster {
 
     /// Stage data into `node`'s DRAM buffer.
     pub fn load_dram(&mut self, node: NodeId, key: u64, data: &[u8]) {
-        self.sim.schedule(
+        self.engine.schedule(
             SimTime::ZERO,
             self.agents[node.index()],
             AgentOp::LoadDram {
@@ -352,7 +536,7 @@ impl Cluster {
                 data: data.to_vec(),
             },
         );
-        self.sim.run();
+        self.engine.run();
     }
 
     /// Read `host`'s DRAM buffer from `reader` over the integrated
@@ -385,6 +569,37 @@ impl Cluster {
         })
     }
 
+    /// Inject one read at `reader` (scheduled at the current instant)
+    /// **without running the simulation** — the building block for
+    /// concurrent multi-reader workloads (all-to-all scatter streams):
+    /// inject from every reader, then [`Cluster::run_to_quiescence`] and
+    /// [`Cluster::harvest_node`]. Returns the op id echoed in the
+    /// completion.
+    pub fn inject_read(&mut self, reader: NodeId, addr: GlobalPageAddr, consume: Consume) -> u64 {
+        let op_id = self.op_id();
+        self.engine.schedule(
+            SimTime::ZERO,
+            self.agents[reader.index()],
+            AgentOp::ReadFlash {
+                op_id,
+                addr,
+                consume,
+            },
+        );
+        op_id
+    }
+
+    /// Run the event queues to global quiescence (across all shards on
+    /// the sharded engine).
+    pub fn run_to_quiescence(&mut self) {
+        self.engine.run();
+    }
+
+    /// Drain the completions recorded at `node`.
+    pub fn harvest_node(&mut self, node: NodeId) -> Vec<Completed> {
+        self.harvest(node)
+    }
+
     /// Inject a batch of reads at `reader` (all at the current instant),
     /// run to quiescence, and return every completion. Used by the
     /// bandwidth experiments (Figure 13): per-class sustained rates are
@@ -397,7 +612,7 @@ impl Cluster {
     ) -> Vec<Completed> {
         for &addr in addrs {
             let op_id = self.op_id();
-            self.sim.schedule(
+            self.engine.schedule(
                 SimTime::ZERO,
                 self.agents[reader.index()],
                 AgentOp::ReadFlash {
@@ -407,7 +622,7 @@ impl Cluster {
                 },
             );
         }
-        self.sim.run();
+        self.engine.run();
         self.harvest(reader)
     }
 
@@ -430,7 +645,7 @@ impl Cluster {
         addrs: &[GlobalPageAddr],
         engine: &mut dyn bluedbm_isp::Accelerator,
     ) -> Result<SimTime, ClusterError> {
-        let t0 = self.sim.now();
+        let t0 = self.engine.now();
         let mut done = self.stream_reads(reader, addrs, Consume::Isp);
         if done.len() != addrs.len() {
             return Err(ClusterError::MissingCompletion);
@@ -466,16 +681,25 @@ impl Cluster {
     /// component — clone at the call site if the probe must outlive
     /// further cluster mutation.
     pub fn router_stats(&self, node: NodeId) -> &RouterStats {
-        self.sim
+        self.engine
             .component::<Router<NetBody>>(self.routers[node.index()])
             .expect("router installed")
+            .stats()
+    }
+
+    /// Node-agent statistics for `node` (borrowed; see
+    /// [`Cluster::router_stats`]).
+    pub fn agent_stats(&self, node: NodeId) -> &AgentStats {
+        self.engine
+            .component::<NodeAgent>(self.agents[node.index()])
+            .expect("agent installed")
             .stats()
     }
 
     /// Controller statistics for one card of `node` (borrowed; see
     /// [`Cluster::router_stats`]).
     pub fn controller_stats(&self, node: NodeId, card: usize) -> &CtrlStats {
-        self.sim
+        self.engine
             .component::<FlashController>(self.controllers[node.index()][card])
             .expect("controller installed")
             .stats()
@@ -489,13 +713,42 @@ impl Cluster {
 
     /// The simulator-owned page store: payload staging for advanced
     /// drivers, and the leak audit (`assert_quiescent`) after a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the sharded engine, where pages live in per-shard
+    /// segments — use [`Cluster::assert_quiescent`] for audits there.
     pub fn page_store(&self) -> &bluedbm_sim::PageStore {
-        self.sim.page_store()
+        match &self.engine {
+            Engine::Seq(sim) => sim.page_store(),
+            Engine::Sharded(_) => {
+                panic!("page_store() is sequential-engine-only; use assert_quiescent()")
+            }
+        }
+    }
+
+    /// Store leak audit across both engines: every page and every
+    /// interned control block must have been consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any store segment still holds live entries.
+    pub fn assert_quiescent(&self) {
+        self.engine.assert_quiescent();
     }
 
     /// Direct simulator access for advanced experiment drivers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the sharded engine (no single simulator exists); the
+    /// aggregate probes ([`Cluster::now`], [`Cluster::events_delivered`])
+    /// work on both.
     pub fn sim_mut(&mut self) -> &mut Simulator<Msg> {
-        &mut self.sim
+        match &mut self.engine {
+            Engine::Seq(sim) => sim,
+            Engine::Sharded(_) => panic!("sim_mut() is sequential-engine-only"),
+        }
     }
 }
 
@@ -503,7 +756,8 @@ impl fmt::Debug for Cluster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Cluster")
             .field("nodes", &self.node_count())
-            .field("now", &self.sim.now())
+            .field("shards", &self.shard_count())
+            .field("now", &self.engine.now())
             .finish()
     }
 }
@@ -706,7 +960,7 @@ mod tests {
         assert!(done.iter().all(|c| c.error.is_none()));
         let agent = cluster.agents[0];
         let pool = cluster
-            .sim
+            .engine
             .component::<NodeAgent>(agent)
             .expect("agent installed")
             .host_buffers();

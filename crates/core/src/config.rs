@@ -105,6 +105,37 @@ impl BaselineDevices {
     }
 }
 
+/// How the simulation itself executes (not a property of the modelled
+/// hardware — changing it must never change observable results).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Worker shards for parallel conservative simulation. `1` (the
+    /// default) runs the sequential engine; `n > 1` partitions the
+    /// cluster's nodes across `n` scoped worker threads with the
+    /// cross-shard lookahead derived from the minimum inter-node link
+    /// latency. Sharded runs are deterministic and observably identical
+    /// to sequential runs — see `bluedbm_sim::shard`.
+    pub shards: usize,
+}
+
+impl SimConfig {
+    /// The sequential engine.
+    pub fn sequential() -> Self {
+        SimConfig { shards: 1 }
+    }
+
+    /// `n` worker shards.
+    pub fn sharded(n: usize) -> Self {
+        SimConfig { shards: n.max(1) }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
 /// The complete system configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SystemConfig {
@@ -120,6 +151,8 @@ pub struct SystemConfig {
     pub baseline: BaselineDevices,
     /// Power model (Table 3).
     pub power: PowerModel,
+    /// Simulation-engine execution knobs.
+    pub sim: SimConfig,
 }
 
 impl SystemConfig {
@@ -137,6 +170,7 @@ impl SystemConfig {
             host: HostModel::paper(),
             baseline: BaselineDevices::paper(),
             power: PowerModel::paper(),
+            sim: SimConfig::sequential(),
         }
     }
 

@@ -30,11 +30,26 @@
 //!   (`FlashMsg`, `NetMsg`) are split into their variants here and
 //!   reassembled (a plain move) in the protocol-trait impls below;
 //! * bulk payloads ride the page store as [`PageRef`]s (above);
-//! * the two verbose network objects are boxed where they are born:
-//!   `NetMsg::Wire` (per-hop routing metadata; the box is allocated at
-//!   injection and reused across every hop) and [`NetBody::Req`] (one
-//!   small control-plane allocation per remote request — the per-page
-//!   data plane, [`NetBody::Resp`], stays inline).
+//! * the two verbose network objects are **interned in the
+//!   simulator-owned control-block pool** where they are born:
+//!   `NetMsg::Wire` (per-hop routing metadata; interned at injection,
+//!   the 8-byte [`WireRef`] moves hop to hop, the delivering router
+//!   takes it out) and [`NetBody::Req`] (interned by the requesting
+//!   agent, taken by the owning node's agent). Pool slots recycle, so
+//!   the remote-request control plane allocates nothing in steady state
+//!   — the per-page data plane, [`NetBody::Resp`], stays inline.
+//!
+//! ## Crossing shard boundaries
+//!
+//! Under the sharded runtime ([`bluedbm_sim::ShardedSimulator`]) pages
+//! and pooled control blocks live in per-shard store segments, so a
+//! message leaving its shard must carry its payloads along: the
+//! [`ShardMessage`] impl below detaches them into a [`Luggage`] crate on
+//! the way out and re-installs them (rewriting the handles in place) on
+//! the way in. Only the controller-internal `FlashFinish` and the PCIe
+//! link's internal `Finish` cannot cross — they are self-sends by
+//! contract, and the impl panics loudly if a partition ever splits them
+//! from their component.
 //!
 //! To add a new message kind, see the "Adding a new message variant"
 //! checklist in the `bluedbm_sim` crate docs.
@@ -45,17 +60,20 @@ use bluedbm_flash::server::{ServerReq, ServerResp};
 use bluedbm_host::msg::{HostMsg, HostProtocol};
 use bluedbm_host::pcie::PcieXfer;
 use bluedbm_net::msg::{NetMsg, NetProtocol};
-use bluedbm_net::router::{CreditReturn, E2eAck, NetRecv, NetSend, Wire};
-use bluedbm_sim::PageRef;
+use bluedbm_net::router::{CreditReturn, E2eAck, NetRecv, NetSend, Wire, WireRef};
+use bluedbm_sim::pool::PoolRef;
+use bluedbm_sim::shard::ShardMessage;
+use bluedbm_sim::{PageRef, PageStore, PoolStore};
 
 use crate::node::{AgentOp, DramServed, RemoteReq, RemoteResp};
 
 /// Functional payload of a storage-network packet in the full system.
 #[derive(Debug)]
 pub enum NetBody {
-    /// A remote flash/DRAM request travelling to the owning node (boxed:
-    /// control-plane, one allocation per remote request).
-    Req(Box<RemoteReq>),
+    /// A remote flash/DRAM request travelling to the owning node, by
+    /// pool handle (interned by the requester, taken by the owner — the
+    /// control plane allocates nothing in steady state).
+    Req(PoolRef<RemoteReq>),
     /// The response travelling back to the requesting node — page data
     /// by handle, inline.
     Resp(RemoteResp),
@@ -79,8 +97,8 @@ pub enum Msg {
     NetSend(NetSend<NetBody>),
     /// Router delivers a packet to an endpoint consumer.
     NetRecv(NetRecv<NetBody>),
-    /// Router-to-router transfer.
-    NetWire(Box<Wire<NetBody>>),
+    /// Router-to-router transfer, by pool handle.
+    NetWire(WireRef<NetBody>),
     /// Link-layer credit return.
     NetCredit(CreditReturn),
     /// End-to-end flow-control acknowledgement.
@@ -207,6 +225,131 @@ impl HostProtocol for Msg {
         match self {
             Msg::Host(m) => m,
             other => panic!("host component received a non-host message: {other:?}"),
+        }
+    }
+}
+
+/// Owned form of a [`Msg`]'s store-backed payloads while the message is
+/// in transit between shards (see the module docs). Built by
+/// [`ShardMessage::detach`], consumed by [`ShardMessage::attach`].
+#[derive(Debug)]
+pub enum Luggage {
+    /// No store-backed payload.
+    None,
+    /// One page's bytes (the copy the real network link would perform).
+    Page(Vec<u8>),
+    /// A remote request taken out of the sending shard's pool.
+    Req(Box<RemoteReq>),
+    /// A wire record taken out of the sending shard's pool, plus the
+    /// luggage of the packet body riding inside it.
+    Wire(Box<Wire<NetBody>>, Box<Luggage>),
+}
+
+/// Detach the store-backed payloads of one network body.
+fn detach_body(body: &mut NetBody, pages: &mut PageStore, pools: &mut PoolStore) -> Luggage {
+    match body {
+        NetBody::Req(req) => Luggage::Req(Box::new(pools.take(*req))),
+        NetBody::Resp(resp) => match &resp.data {
+            Ok(page) => Luggage::Page(pages.take(*page)),
+            Err(_) => Luggage::None,
+        },
+    }
+}
+
+/// Re-install a network body's payloads into the receiving shard's
+/// stores, rewriting the handles in place.
+fn attach_body(body: &mut NetBody, luggage: Luggage, pages: &mut PageStore, pools: &mut PoolStore) {
+    match (body, luggage) {
+        (NetBody::Req(req), Luggage::Req(carried)) => *req = pools.intern(*carried),
+        (NetBody::Resp(resp), Luggage::Page(bytes)) => {
+            resp.data = Ok(pages.alloc_from(&bytes));
+        }
+        (NetBody::Resp(resp), Luggage::None) => {
+            debug_assert!(resp.data.is_err(), "a successful response carries a page");
+        }
+        (body, luggage) => panic!("luggage {luggage:?} does not fit body {body:?}"),
+    }
+}
+
+impl ShardMessage for Msg {
+    type Detached = Luggage;
+
+    fn detach(&mut self, pages: &mut PageStore, pools: &mut PoolStore) -> Luggage {
+        match self {
+            // The inter-node traffic that actually crosses shards under
+            // the cluster partition (router/links are node-pinned).
+            Msg::NetWire(wire) => {
+                let mut wire = Box::new(pools.take(*wire));
+                let inner = detach_body(wire.body_mut(), pages, pools);
+                Luggage::Wire(wire, Box::new(inner))
+            }
+            Msg::NetCredit(_) | Msg::NetAck(_) => Luggage::None,
+            // Node-internal in the cluster wiring, but supported so
+            // arbitrary partitions stay correct.
+            Msg::NetSend(send) => detach_body(&mut send.body, pages, pools),
+            Msg::NetRecv(recv) => detach_body(&mut recv.body, pages, pools),
+            Msg::FlashCmd(CtrlCmd::Write { data, .. }) => Luggage::Page(pages.take(*data)),
+            Msg::FlashCmd(_) => Luggage::None,
+            Msg::FlashResp(CtrlResp::ReadDone { result: Ok(read), .. }) => {
+                Luggage::Page(pages.take(read.page))
+            }
+            Msg::FlashResp(_) => Luggage::None,
+            Msg::ServerReq(_) => Luggage::None,
+            Msg::ServerResp(resp) => match &resp.result {
+                Ok(page) => Luggage::Page(pages.take(*page)),
+                Err(_) => Luggage::None,
+            },
+            Msg::Host(HostMsg::Xfer(xfer)) => Luggage::Page(pages.take(xfer.body)),
+            Msg::Host(HostMsg::Done(done)) => Luggage::Page(pages.take(done.body)),
+            Msg::Op(AgentOp::WriteFlash { data, .. }) => Luggage::Page(pages.take(*data)),
+            Msg::Op(_) => Luggage::None,
+            Msg::Dram(served) => match &served.data {
+                Ok(page) => Luggage::Page(pages.take(*page)),
+                Err(_) => Luggage::None,
+            },
+            // Self-sends by contract: a partition can never split a
+            // component from itself, so these crossing a shard boundary
+            // is a wiring bug.
+            Msg::FlashFinish(_) => {
+                panic!("controller-internal Finish cannot cross shards")
+            }
+            Msg::Host(HostMsg::Finish(_)) => {
+                panic!("PCIe-link-internal Finish cannot cross shards")
+            }
+        }
+    }
+
+    fn attach(&mut self, luggage: Luggage, pages: &mut PageStore, pools: &mut PoolStore) {
+        match (self, luggage) {
+            (Msg::NetWire(wire), Luggage::Wire(mut carried, inner)) => {
+                attach_body(carried.body_mut(), *inner, pages, pools);
+                *wire = pools.intern(*carried);
+            }
+            (Msg::NetSend(send), luggage) => attach_body(&mut send.body, luggage, pages, pools),
+            (Msg::NetRecv(recv), luggage) => attach_body(&mut recv.body, luggage, pages, pools),
+            (Msg::FlashCmd(CtrlCmd::Write { data, .. }), Luggage::Page(bytes)) => {
+                *data = pages.alloc_from(&bytes);
+            }
+            (Msg::FlashResp(CtrlResp::ReadDone { result: Ok(read), .. }), Luggage::Page(bytes)) => {
+                read.page = pages.alloc_from(&bytes);
+            }
+            (Msg::ServerResp(resp), Luggage::Page(bytes)) => {
+                resp.result = Ok(pages.alloc_from(&bytes));
+            }
+            (Msg::Host(HostMsg::Xfer(xfer)), Luggage::Page(bytes)) => {
+                xfer.body = pages.alloc_from(&bytes);
+            }
+            (Msg::Host(HostMsg::Done(done)), Luggage::Page(bytes)) => {
+                done.body = pages.alloc_from(&bytes);
+            }
+            (Msg::Op(AgentOp::WriteFlash { data, .. }), Luggage::Page(bytes)) => {
+                *data = pages.alloc_from(&bytes);
+            }
+            (Msg::Dram(served), Luggage::Page(bytes)) => {
+                served.data = Ok(pages.alloc_from(&bytes));
+            }
+            (_, Luggage::None) => {}
+            (msg, luggage) => panic!("luggage {luggage:?} does not fit message {msg:?}"),
         }
     }
 }

@@ -114,8 +114,10 @@ pub struct Completed {
     pub end: SimTime,
 }
 
-/// Remote request carried over the storage network. Public only because
-/// it rides [`crate::msg::NetBody`]; agents construct and consume it.
+/// Remote request carried over the storage network (interned in the
+/// simulator-owned control-block pool; [`crate::msg::NetBody::Req`]
+/// carries the 8-byte handle). Public only because it rides the network
+/// body and crosses shard boundaries; agents construct and consume it.
 #[derive(Debug)]
 pub struct RemoteReq {
     req_id: u64,
@@ -189,7 +191,9 @@ impl RemoteError {
 #[derive(Debug)]
 pub struct RemoteResp {
     req_id: u64,
-    data: Result<PageRef, RemoteError>,
+    /// `pub(crate)` so the cross-shard relocation in [`crate::msg`] can
+    /// rewrite the page handle.
+    pub(crate) data: Result<PageRef, RemoteError>,
 }
 
 /// Delayed local DRAM reply (models the DRAM access latency of a
@@ -202,7 +206,8 @@ pub struct DramServed {
     origin: NodeId,
     reply_ep: u16,
     req_id: u64,
-    data: Result<PageRef, RemoteError>,
+    /// `pub(crate)` for the cross-shard relocation in [`crate::msg`].
+    pub(crate) data: Result<PageRef, RemoteError>,
     bytes: u32,
 }
 
@@ -236,6 +241,37 @@ struct NetPending {
     target: RemoteKind,
 }
 
+/// Cumulative node-agent statistics. Purely additive counters, so the
+/// batched dispatcher accumulates a per-train delta and applies it once
+/// per train instead of once per message; `PartialEq` so the
+/// cross-engine determinism suite can compare agents field for field.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Driver operations accepted.
+    pub ops: u64,
+    /// Reads issued to local flash (driver-initiated).
+    pub local_reads: u64,
+    /// Remote requests sent over the storage network.
+    pub remote_reads: u64,
+    /// Remote requests served here on behalf of other nodes.
+    pub remote_jobs: u64,
+    /// Operations completed (success or failure).
+    pub completions: u64,
+    /// Host-bound pages that had to park waiting for a read buffer.
+    pub parked_pages: u64,
+}
+
+impl AgentStats {
+    fn apply(&mut self, delta: AgentStats) {
+        self.ops += delta.ops;
+        self.local_reads += delta.local_reads;
+        self.remote_reads += delta.remote_reads;
+        self.remote_jobs += delta.remote_jobs;
+        self.completions += delta.completions;
+        self.parked_pages += delta.parked_pages;
+    }
+}
+
 /// The node hub component. Built by [`crate::cluster::Cluster`].
 pub struct NodeAgent {
     node: NodeId,
@@ -266,6 +302,7 @@ pub struct NodeAgent {
     dram: HashMap<u64, Vec<u8>>,
     /// Finished operations awaiting harvest.
     completed: Vec<Completed>,
+    stats: AgentStats,
 }
 
 impl NodeAgent {
@@ -298,6 +335,7 @@ impl NodeAgent {
             host_parked: VecDeque::new(),
             dram: HashMap::new(),
             completed: Vec::new(),
+            stats: AgentStats::default(),
         }
     }
 
@@ -305,6 +343,11 @@ impl NodeAgent {
     /// exhaustion stalls).
     pub fn host_buffers(&self) -> &BufferPool {
         &self.host_buffers
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &AgentStats {
+        &self.stats
     }
 
     /// Drain all completions recorded so far.
@@ -345,12 +388,14 @@ impl NodeAgent {
 
     fn complete(
         &mut self,
+        tc: &mut AgentStats,
         now: SimTime,
         op_id: u64,
         addr: Option<GlobalPageAddr>,
         data: Result<Vec<u8>, FlashError>,
         start: SimTime,
     ) {
+        tc.completions += 1;
         let (data, error) = match data {
             Ok(d) => (Some(d), None),
             Err(e) => (None, Some(e)),
@@ -368,9 +413,11 @@ impl NodeAgent {
     /// Deliver read data to its consumer: ISP copies the page out of the
     /// store here; Host claims a read buffer and pays the PCIe crossing
     /// first (parking if all buffers are in flight).
+    #[allow(clippy::too_many_arguments)]
     fn consume_read(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
+        tc: &mut AgentStats,
         op_id: u64,
         addr: Option<GlobalPageAddr>,
         consume: Consume,
@@ -380,7 +427,7 @@ impl NodeAgent {
         match (consume, data) {
             (Consume::Isp, data) => {
                 let data = data.map(|page| ctx.pages().take(page));
-                self.complete(ctx.now(), op_id, addr, data, start);
+                self.complete(tc, ctx.now(), op_id, addr, data, start);
             }
             (Consume::Host, Ok(page)) => {
                 if self.host_buffers.adopt(page) {
@@ -389,10 +436,11 @@ impl NodeAgent {
                     // All 128 read buffers hold in-flight pages: the
                     // paper's free-queue discipline makes this page wait
                     // for a completion to return a buffer.
+                    tc.parked_pages += 1;
                     self.host_parked.push_back((op_id, addr, start, page));
                 }
             }
-            (Consume::Host, Err(e)) => self.complete(ctx.now(), op_id, addr, Err(e), start),
+            (Consume::Host, Err(e)) => self.complete(tc, ctx.now(), op_id, addr, Err(e), start),
         }
     }
 
@@ -417,7 +465,8 @@ impl NodeAgent {
         );
     }
 
-    fn handle_op(&mut self, ctx: &mut Ctx<'_, Msg>, op: AgentOp) {
+    fn handle_op(&mut self, ctx: &mut Ctx<'_, Msg>, tc: &mut AgentStats, op: AgentOp) {
+        tc.ops += 1;
         match op {
             AgentOp::ReadFlash {
                 op_id,
@@ -425,6 +474,7 @@ impl NodeAgent {
                 consume,
             } => {
                 if addr.node == self.node {
+                    tc.local_reads += 1;
                     self.issue_local_read(
                         ctx,
                         addr,
@@ -436,6 +486,7 @@ impl NodeAgent {
                         },
                     );
                 } else {
+                    tc.remote_reads += 1;
                     let req_id = self.next_req;
                     self.next_req += 1;
                     self.net_pending.insert(
@@ -450,6 +501,16 @@ impl NodeAgent {
                     let rr = self.reply_rr.entry(addr.node).or_insert(0);
                     let reply_ep = 1 + (*rr % u64::from(DATA_ENDPOINTS)) as u16;
                     *rr += 1;
+                    // Interned, not boxed: the pool slot recycles when the
+                    // owning node takes the request back out, so the
+                    // remote-read control plane allocates nothing in
+                    // steady state.
+                    let req = ctx.pools().intern(RemoteReq {
+                        req_id,
+                        origin: self.node,
+                        reply_ep,
+                        kind: RemoteKind::Flash(addr),
+                    });
                     ctx.send(
                         self.router,
                         SimTime::ZERO,
@@ -457,12 +518,7 @@ impl NodeAgent {
                             addr.node,
                             REQUEST_ENDPOINT,
                             REQUEST_BYTES,
-                            NetBody::Req(Box::new(RemoteReq {
-                                req_id,
-                                origin: self.node,
-                                reply_ep,
-                                kind: RemoteKind::Flash(addr),
-                            })),
+                            NetBody::Req(req),
                         ),
                     );
                 }
@@ -499,6 +555,7 @@ impl NodeAgent {
                 key,
                 consume,
             } => {
+                tc.remote_reads += 1;
                 let req_id = self.next_req;
                 self.next_req += 1;
                 self.net_pending.insert(
@@ -513,6 +570,12 @@ impl NodeAgent {
                 let rr = self.reply_rr.entry(node).or_insert(0);
                 let reply_ep = 1 + (*rr % u64::from(DATA_ENDPOINTS)) as u16;
                 *rr += 1;
+                let req = ctx.pools().intern(RemoteReq {
+                    req_id,
+                    origin: self.node,
+                    reply_ep,
+                    kind: RemoteKind::Dram(key),
+                });
                 ctx.send(
                     self.router,
                     SimTime::ZERO,
@@ -520,19 +583,14 @@ impl NodeAgent {
                         node,
                         REQUEST_ENDPOINT,
                         REQUEST_BYTES,
-                        NetBody::Req(Box::new(RemoteReq {
-                            req_id,
-                            origin: self.node,
-                            reply_ep,
-                            kind: RemoteKind::Dram(key),
-                        })),
+                        NetBody::Req(req),
                     ),
                 );
             }
         }
     }
 
-    fn handle_ctrl_resp(&mut self, ctx: &mut Ctx<'_, Msg>, resp: CtrlResp) {
+    fn handle_ctrl_resp(&mut self, ctx: &mut Ctx<'_, Msg>, tc: &mut AgentStats, resp: CtrlResp) {
         let tag = resp.tag().0;
         let dest = self
             .flash_pending
@@ -548,11 +606,11 @@ impl NodeAgent {
                 },
                 CtrlResp::ReadDone { result, .. },
             ) => {
-                self.consume_read(ctx, op_id, Some(addr), consume, start, result.map(|r| r.page));
+                self.consume_read(ctx, tc, op_id, Some(addr), consume, start, result.map(|r| r.page));
             }
             (FlashDest::LocalWrite { op_id, addr, start }, CtrlResp::WriteDone { result, .. }) => {
                 let data = result.map(|()| Vec::new());
-                self.complete(ctx.now(), op_id, Some(addr), data, start);
+                self.complete(tc, ctx.now(), op_id, Some(addr), data, start);
             }
             (
                 FlashDest::RemoteJob {
@@ -581,10 +639,11 @@ impl NodeAgent {
         }
     }
 
-    fn handle_net(&mut self, ctx: &mut Ctx<'_, Msg>, recv: NetRecv<NetBody>) {
+    fn handle_net(&mut self, ctx: &mut Ctx<'_, Msg>, tc: &mut AgentStats, recv: NetRecv<NetBody>) {
         let resp = match recv.body {
             NetBody::Req(req) => {
-                let req = *req;
+                let req = ctx.pools().take(req);
+                tc.remote_jobs += 1;
                 match req.kind {
                     RemoteKind::Flash(addr) => {
                         debug_assert_eq!(addr.node, self.node);
@@ -633,18 +692,19 @@ impl NodeAgent {
             RemoteKind::Dram(_) => None,
         };
         let data = resp.data.map_err(|code| code.rehydrate(pending.target));
-        self.consume_read(ctx, pending.op_id, addr, pending.consume, pending.start, data);
+        self.consume_read(ctx, tc, pending.op_id, addr, pending.consume, pending.start, data);
     }
 }
 
 impl NodeAgent {
     /// Per-message logic shared by [`Component::handle`] and the batch
-    /// hook.
-    fn handle_msg(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+    /// hook. Additive statistics go through `tc`, which the dispatch
+    /// entry points flush once per train.
+    fn handle_msg(&mut self, ctx: &mut Ctx<'_, Msg>, tc: &mut AgentStats, msg: Msg) {
         match msg {
-            Msg::Op(op) => self.handle_op(ctx, op),
-            Msg::FlashResp(resp) => self.handle_ctrl_resp(ctx, resp),
-            Msg::NetRecv(recv) => self.handle_net(ctx, recv),
+            Msg::Op(op) => self.handle_op(ctx, tc, op),
+            Msg::FlashResp(resp) => self.handle_ctrl_resp(ctx, tc, resp),
+            Msg::NetRecv(recv) => self.handle_net(ctx, tc, recv),
             Msg::Dram(served) => {
                 ctx.send(
                     self.router,
@@ -669,7 +729,7 @@ impl NodeAgent {
                 // the free queue and hand the next parked page its slot.
                 self.host_buffers.release(done.body);
                 let data = ctx.pages().take(done.body);
-                self.complete(ctx.now(), op_id, addr, Ok(data), start);
+                self.complete(tc, ctx.now(), op_id, addr, Ok(data), start);
                 if let Some((op_id, addr, start, page)) = self.host_parked.pop_front() {
                     let adopted = self.host_buffers.adopt(page);
                     debug_assert!(adopted, "a just-released buffer must be free");
@@ -683,18 +743,22 @@ impl NodeAgent {
 
 impl Component<Msg> for NodeAgent {
     fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
-        self.handle_msg(ctx, msg);
+        let mut tc = AgentStats::default();
+        self.handle_msg(ctx, &mut tc, msg);
+        self.stats.apply(tc);
     }
 
-    /// Explicit batch adoption: the experiment drivers inject whole read
-    /// streams at one instant, and those [`AgentOp`] trains drain in one
-    /// borrow. Equivalent to the default today — kept as the landing
-    /// spot for train-level hoists (tag preallocation, completion-vec
-    /// reservation).
+    /// Batched dispatch with the per-train hoist: the experiment drivers
+    /// inject whole read streams at one instant, and those [`AgentOp`]
+    /// trains drain in one borrow with the additive statistics (ops,
+    /// reads, jobs, completions, parks) applied once per train instead
+    /// of once per message.
     fn handle_batch(&mut self, ctx: &mut Ctx<'_, Msg>, batch: &mut Batch<Msg>) {
+        let mut tc = AgentStats::default();
         while let Some(msg) = batch.next(ctx) {
-            self.handle_msg(ctx, msg);
+            self.handle_msg(ctx, &mut tc, msg);
         }
+        self.stats.apply(tc);
     }
 }
 

@@ -203,27 +203,58 @@ impl FlashArray {
     /// * [`FlashError::Uncorrectable`] if more errors hit a codeword than
     ///   SECDED can repair.
     pub fn read(&mut self, ppa: Ppa) -> Result<ReadResult, FlashError> {
+        let mut data = vec![0u8; self.geometry.page_bytes];
+        let corrected_words = self.read_into(ppa, &mut data)?;
+        Ok(ReadResult {
+            data,
+            corrected_words,
+        })
+    }
+
+    /// Read one page through the ECC decode path, writing the corrected
+    /// contents straight into `dest` (one page long) — the write-once
+    /// read path: the DES controller points `dest` at a
+    /// [`bluedbm_sim::PageStore`] page, so read data is produced by the
+    /// decoder in place instead of being decoded into a scratch `Vec`
+    /// and copied into the store afterwards. On the common no-injected-
+    /// errors configuration the stored codeword is decoded directly from
+    /// the array's backing buffer with no intermediate copy at all.
+    ///
+    /// Returns the number of corrected codewords; on any error `dest`'s
+    /// contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FlashArray::read`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dest` is not exactly one page.
+    pub fn read_into(&mut self, ppa: Ppa, dest: &mut [u8]) -> Result<u32, FlashError> {
         self.check(ppa)?;
         let linear = self.geometry.linear_of(ppa);
         let bi = self.block_index(ppa);
         let wear = self.blocks[bi].erase_count;
-        let (data, oob) = self
-            .pages
-            .get(&linear)
-            .ok_or(FlashError::NotProgrammed(ppa))?;
-
-        let mut data = data.to_vec();
-        let mut oob = oob.to_vec();
-        self.inject_errors(&mut data, &mut oob, wear);
-
+        if !self.pages.contains_key(&linear) {
+            return Err(FlashError::NotProgrammed(ppa));
+        }
         self.stats.reads += 1;
-        match ecc::decode_page(&data, &oob) {
-            Some(dec) => {
-                self.stats.corrected_words += u64::from(dec.corrected_words);
-                Ok(ReadResult {
-                    data: dec.data,
-                    corrected_words: dec.corrected_words,
-                })
+        let decoded = if self.ber_at(wear) <= 0.0 {
+            // No injected errors: decode the stored codeword in place.
+            let (data, oob) = self.pages.get(&linear).expect("checked present");
+            ecc::decode_page_into(data, oob, dest)
+        } else {
+            // Error injection must not corrupt the stored truth: flip
+            // bits on a scratch copy, then decode into `dest`.
+            let (data, oob) = self.pages.get(&linear).expect("checked present");
+            let (mut data, mut oob) = (data.to_vec(), oob.to_vec());
+            self.inject_errors(&mut data, &mut oob, wear);
+            ecc::decode_page_into(&data, &oob, dest)
+        };
+        match decoded {
+            Some(corrected) => {
+                self.stats.corrected_words += u64::from(corrected);
+                Ok(corrected)
             }
             None => {
                 self.stats.uncorrectable += 1;
@@ -232,8 +263,14 @@ impl FlashArray {
         }
     }
 
+    /// Raw bit error rate at `wear` erase cycles — the one source of
+    /// truth for both the zero-copy fast-path gate and the injector.
+    fn ber_at(&self, wear: u64) -> f64 {
+        self.error_model.base_ber + self.error_model.ber_per_erase * wear as f64
+    }
+
     fn inject_errors(&mut self, data: &mut [u8], oob: &mut [u8], wear: u64) {
-        let ber = self.error_model.base_ber + self.error_model.ber_per_erase * wear as f64;
+        let ber = self.ber_at(wear);
         if ber <= 0.0 {
             return;
         }

@@ -165,8 +165,10 @@ pub struct ModuleSpec {
     pub buffer_bytes: usize,
 }
 
-/// Cumulative controller statistics.
-#[derive(Clone, Debug, Default)]
+/// Cumulative controller statistics. `PartialEq` so the cross-engine
+/// determinism suite can assert sharded and sequential runs observe the
+/// exact same controller behaviour.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CtrlStats {
     /// Distribution of read command latency (accept -> data complete).
     pub read_latency: Histogram,
@@ -305,10 +307,20 @@ impl FlashController {
         match cmd {
             CtrlCmd::Read { tag, ppa, reply_to } => {
                 let page_bytes = self.array.geometry().page_bytes as u64;
-                let result = self.array.read(ppa).map(|r| PageRead {
-                    page: pages.alloc_from(&r.data),
-                    corrected_words: r.corrected_words,
-                });
+                // Write-once read path: allocate the store page first and
+                // let the ECC decoder produce the corrected data directly
+                // into it — no scratch `Vec`, no copy-into-store.
+                let page = pages.alloc(page_bytes as usize);
+                let result = self
+                    .array
+                    .read_into(ppa, pages.get_mut(page))
+                    .map(|corrected_words| PageRead {
+                        page,
+                        corrected_words,
+                    });
+                if result.is_err() {
+                    pages.free(page);
+                }
                 let done = if self.array.geometry().contains(ppa) {
                     let ci = self.chip_index(ppa);
                     let cell = self.chips[ci].acquire(accept, self.timing.read_cell);

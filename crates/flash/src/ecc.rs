@@ -166,7 +166,41 @@ pub fn encode_page(page: &[u8]) -> Vec<u8> {
         .collect()
 }
 
-/// Decode a page against its out-of-band parity bytes.
+/// Decode a page against its out-of-band parity bytes, writing the
+/// corrected contents straight into `out` — the zero-copy decode path:
+/// the flash controller points `out` at a [`bluedbm_sim::PageStore`]
+/// page, so a read's data is written exactly once, by the decoder.
+///
+/// Returns the number of corrected codewords, or `None` if any codeword
+/// is uncorrectable (in which case `out`'s contents are unspecified).
+///
+/// # Panics
+///
+/// Panics if `page.len() != 8 * oob.len()` or `out.len() != page.len()`.
+pub fn decode_page_into(page: &[u8], oob: &[u8], out: &mut [u8]) -> Option<u32> {
+    assert_eq!(page.len(), oob.len() * 8, "page/oob size mismatch");
+    assert_eq!(out.len(), page.len(), "output/page size mismatch");
+    let mut corrected = 0u32;
+    for ((word, &parity), out_word) in page
+        .chunks_exact(8)
+        .zip(oob)
+        .zip(out.chunks_exact_mut(8))
+    {
+        let w = u64::from_le_bytes(word.try_into().expect("chunk of 8"));
+        match decode(w, parity) {
+            Decoded::Clean(d) => out_word.copy_from_slice(&d.to_le_bytes()),
+            Decoded::Corrected(d) => {
+                corrected += 1;
+                out_word.copy_from_slice(&d.to_le_bytes());
+            }
+            Decoded::Uncorrectable => return None,
+        }
+    }
+    Some(corrected)
+}
+
+/// Decode a page against its out-of-band parity bytes, allocating the
+/// output. Convenience wrapper over [`decode_page_into`].
 ///
 /// Returns `None` if any codeword is uncorrectable.
 ///
@@ -174,23 +208,11 @@ pub fn encode_page(page: &[u8]) -> Vec<u8> {
 ///
 /// Panics if `page.len() != 8 * oob.len()`.
 pub fn decode_page(page: &[u8], oob: &[u8]) -> Option<PageDecode> {
-    assert_eq!(page.len(), oob.len() * 8, "page/oob size mismatch");
-    let mut out = Vec::with_capacity(page.len());
-    let mut corrected = 0u32;
-    for (word, &parity) in page.chunks_exact(8).zip(oob) {
-        let w = u64::from_le_bytes(word.try_into().expect("chunk of 8"));
-        match decode(w, parity) {
-            Decoded::Clean(d) => out.extend_from_slice(&d.to_le_bytes()),
-            Decoded::Corrected(d) => {
-                corrected += 1;
-                out.extend_from_slice(&d.to_le_bytes());
-            }
-            Decoded::Uncorrectable => return None,
-        }
-    }
+    let mut data = vec![0u8; page.len()];
+    let corrected_words = decode_page_into(page, oob, &mut data)?;
     Some(PageDecode {
-        data: out,
-        corrected_words: corrected,
+        data,
+        corrected_words,
     })
 }
 

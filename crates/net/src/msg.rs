@@ -8,23 +8,26 @@
 
 use bluedbm_sim::Message;
 
-use crate::router::{CreditReturn, E2eAck, NetRecv, NetSend, Wire};
+use crate::router::{CreditReturn, E2eAck, NetRecv, NetSend, WireRef};
 
 /// Union of every message a network component sends or receives.
 ///
-/// `Wire` is boxed: it stacks per-hop routing metadata (timing, credit
-/// provenance) on top of the packet, which would otherwise dominate the
-/// size of every composed message enum. The box is allocated once at
-/// injection and **reused across every hop** of the packet's path, so
-/// forwarding still allocates nothing.
+/// `Wire` rides as an interned handle: the per-hop routing record
+/// (timing, credit provenance) stacked on top of the packet would
+/// otherwise dominate the size of every composed message enum. The
+/// record is interned into the simulator-owned control-block pool once
+/// at injection, the 8-byte [`WireRef`] moves hop to hop, and the
+/// delivering router takes it back out — so steady-state forwarding
+/// *and injection* allocate nothing (the previous `Box` cost one heap
+/// allocation per packet).
 #[derive(Debug)]
 pub enum NetMsg<B> {
     /// Local sender asks its router to inject a packet.
     Send(NetSend<B>),
     /// Router delivers a packet to an endpoint consumer.
     Recv(NetRecv<B>),
-    /// Router-to-router transfer (head arrival).
-    Wire(Box<Wire<B>>),
+    /// Router-to-router transfer (head arrival), by pool handle.
+    Wire(WireRef<B>),
     /// Link-layer credit returned by the downstream router.
     Credit(CreditReturn),
     /// End-to-end flow-control acknowledgement.
@@ -64,7 +67,10 @@ impl<B> From<NetRecv<B>> for NetMsg<B> {
 /// the full workspace composition.
 pub trait NetProtocol: Message + From<NetMsg<Self::Body>> {
     /// The packet body type carried by this simulation's network.
-    type Body: 'static;
+    /// `Send` because wire records (and the packets inside them) are
+    /// interned in the simulator-owned pool, whose entries must be able
+    /// to migrate with a shard onto a worker thread.
+    type Body: Send + 'static;
 
     /// Extract the network view of this message.
     ///
@@ -75,7 +81,7 @@ pub trait NetProtocol: Message + From<NetMsg<Self::Body>> {
     fn into_net(self) -> NetMsg<Self::Body>;
 }
 
-impl<B: 'static> NetProtocol for NetMsg<B> {
+impl<B: Send + 'static> NetProtocol for NetMsg<B> {
     type Body = B;
 
     #[inline]

@@ -19,9 +19,10 @@
 //! typed [`NetMsg<B>`] protocol — see [`crate::msg`].
 
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bluedbm_sim::engine::{Batch, Component, ComponentId, Ctx, Simulator};
+use bluedbm_sim::pool::PoolRef;
 use bluedbm_sim::resource::SerialResource;
 use bluedbm_sim::stats::Histogram;
 use bluedbm_sim::time::SimTime;
@@ -78,8 +79,8 @@ pub struct NetRecv<B> {
 }
 
 /// Router-to-router transfer (head arrival of a packet). Public only
-/// because it rides the [`NetMsg`] enum; nothing outside the router
-/// constructs or inspects one.
+/// because it rides the [`NetMsg`] enum (as an interned [`WireRef`]) and
+/// crosses shard boundaries; nothing outside the router constructs one.
 #[derive(Debug)]
 pub struct Wire<B> {
     packet: Packet<B>,
@@ -93,6 +94,24 @@ pub struct Wire<B> {
     /// The sending endpoint asked for an end-to-end acknowledgement.
     wants_ack: bool,
 }
+
+impl<B> Wire<B> {
+    /// The functional body riding this packet. Exposed for cross-shard
+    /// payload relocation: the sharded runtime takes a wire out of one
+    /// shard's pool, relocates any store-backed payloads inside the
+    /// body, and re-interns it at the destination shard.
+    pub fn body_mut(&mut self) -> &mut B {
+        &mut self.packet.body
+    }
+}
+
+/// Handle to a [`Wire`] interned in the simulator-owned control-block
+/// pool ([`bluedbm_sim::PoolStore`]). The wire record is interned once
+/// at injection, the 8-byte handle moves hop to hop, and the delivering
+/// router takes the record back out — steady-state packet traffic
+/// allocates nothing (the old `Box<Wire>` cost one heap allocation per
+/// packet).
+pub type WireRef<B> = PoolRef<Wire<B>>;
 
 /// Token returned by the downstream router when a packet leaves its
 /// buffer. Public only because it rides the [`NetMsg`] enum.
@@ -115,11 +134,13 @@ struct Egress<B> {
     peer: ComponentId,
     credits: u32,
     lane: SerialResource,
-    queue: VecDeque<Box<Wire<B>>>,
+    queue: VecDeque<WireRef<B>>,
 }
 
-/// Cumulative router statistics.
-#[derive(Clone, Debug, Default)]
+/// Cumulative router statistics. `PartialEq` so the cross-engine
+/// determinism suite can assert sharded and sequential runs observe the
+/// exact same router behaviour.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RouterStats {
     /// Packets injected by local senders.
     pub injected: u64,
@@ -137,19 +158,43 @@ pub struct RouterStats {
     pub order_violations: u64,
 }
 
+/// Counter deltas accumulated across one dispatch train and applied to
+/// [`RouterStats`] once per train (instead of once per message) — the
+/// batched dispatcher's hoist of the router's hot-path bookkeeping.
+/// Distribution samples (the latency histogram) still record per packet;
+/// only the additive counters batch.
+#[derive(Default)]
+struct TrainCounters {
+    injected: u64,
+    forwarded: u64,
+    delivered: u64,
+    delivered_bytes: u64,
+    credit_stalls: u64,
+}
+
+impl RouterStats {
+    fn apply(&mut self, tc: TrainCounters) {
+        self.injected += tc.injected;
+        self.forwarded += tc.forwarded;
+        self.delivered += tc.delivered;
+        self.delivered_bytes += tc.delivered_bytes;
+        self.credit_stalls += tc.credit_stalls;
+    }
+}
+
 /// The per-node network component, generic over the packet body type.
 /// Build a full network with [`build_network`].
 pub struct Router<B> {
     node: NodeId,
     params: NetParams,
-    routing: Rc<RoutingTable>,
+    routing: Arc<RoutingTable>,
     ports: Vec<Option<Egress<B>>>,
     endpoints: HashMap<u16, ComponentId>,
     next_seq: HashMap<(u16, NodeId), u64>,
     expect_seq: HashMap<(u16, NodeId), u64>,
     /// All routers in the network, indexed by node (for end-to-end
     /// flow-control acknowledgements).
-    peers: Rc<Vec<ComponentId>>,
+    peers: Arc<Vec<ComponentId>>,
     /// Optional end-to-end credit budget per endpoint (paper
     /// Section 3.2.3: an endpoint "can be configured to only send data
     /// when there is space on the destination endpoint").
@@ -161,7 +206,7 @@ pub struct Router<B> {
     stats: RouterStats,
 }
 
-impl<B: 'static> Router<B> {
+impl<B: Send + 'static> Router<B> {
     /// Register the consumer component for a logical endpoint. Packets
     /// arriving for `endpoint` are delivered to it as [`NetRecv`]s.
     pub fn register_endpoint(&mut self, endpoint: u16, consumer: ComponentId) {
@@ -200,23 +245,33 @@ impl<B: 'static> Router<B> {
         self.node
     }
 
-    fn transmit<M>(&mut self, ctx: &mut Ctx<'_, M>, port: PortId, mut wire: Box<Wire<B>>)
-    where
+    fn transmit<M>(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        port: PortId,
+        wire: WireRef<B>,
+        tc: &mut TrainCounters,
+    ) where
         M: NetProtocol<Body = B>,
     {
         let egress = self.ports[port.0 as usize]
             .as_mut()
             .expect("route points at a cabled port");
         if egress.credits == 0 {
-            self.stats.credit_stalls += 1;
+            tc.credit_stalls += 1;
             egress.queue.push_back(wire);
             return;
         }
         egress.credits -= 1;
-        let ptime = self.params.packet_time(wire.packet.payload_bytes);
+        let (payload_bytes, via) = {
+            let w = ctx.pools().get(wire);
+            (w.packet.payload_bytes, w.via)
+        };
+        let ptime = self.params.packet_time(payload_bytes);
         let grant = egress.lane.acquire(ctx.now(), ptime);
+        let peer = egress.peer;
         // Pay the upstream credit back when the tail leaves this router.
-        if let Some((up, up_port)) = wire.via {
+        if let Some((up, up_port)) = via {
             ctx.send(
                 up,
                 grant.end + self.params.hop_latency - ctx.now(),
@@ -224,37 +279,41 @@ impl<B: 'static> Router<B> {
             );
         }
         let me = ctx.self_id();
-        // Re-stamp the hop fields in place: the box allocated at
+        // Re-stamp the hop fields in place: the record interned at
         // injection rides the whole path.
-        wire.tail_lag = ptime;
-        wire.via = Some((me, port));
+        let w = ctx.pools().get_mut(wire);
+        w.tail_lag = ptime;
+        w.via = Some((me, port));
         let delay = grant.start + self.params.hop_latency - ctx.now();
-        ctx.send(egress.peer, delay, NetMsg::Wire(wire));
+        ctx.send(peer, delay, NetMsg::Wire(wire));
     }
 
-    fn route_or_deliver<M>(&mut self, ctx: &mut Ctx<'_, M>, wire: Box<Wire<B>>)
+    fn route_or_deliver<M>(&mut self, ctx: &mut Ctx<'_, M>, wire: WireRef<B>, tc: &mut TrainCounters)
     where
         M: NetProtocol<Body = B>,
     {
-        if wire.packet.dst == self.node {
-            self.deliver(ctx, *wire);
+        let (dst, endpoint, forwarding) = {
+            let w = ctx.pools().get(wire);
+            (w.packet.dst, w.packet.endpoint, w.via.is_some())
+        };
+        if dst == self.node {
+            let wire = ctx.pools().take(wire);
+            self.deliver(ctx, wire, tc);
             return;
         }
         let port = self
             .routing
-            .next_port(self.node, wire.packet.dst, wire.packet.endpoint)
-            .unwrap_or_else(|| {
-                panic!("no route from {} to {}", self.node, wire.packet.dst)
-            });
-        if wire.via.is_some() {
-            self.stats.forwarded += 1;
+            .next_port(self.node, dst, endpoint)
+            .unwrap_or_else(|| panic!("no route from {} to {}", self.node, dst));
+        if forwarding {
+            tc.forwarded += 1;
         }
-        self.transmit(ctx, port, wire);
+        self.transmit(ctx, port, wire, tc);
     }
 
-    /// Terminal hop: the packet's journey (and its box) end here, so the
-    /// caller unboxes.
-    fn deliver<M>(&mut self, ctx: &mut Ctx<'_, M>, wire: Wire<B>)
+    /// Terminal hop: the packet's journey ends here, so the caller takes
+    /// the wire record back out of the pool.
+    fn deliver<M>(&mut self, ctx: &mut Ctx<'_, M>, wire: Wire<B>, tc: &mut TrainCounters)
     where
         M: NetProtocol<Body = B>,
     {
@@ -276,8 +335,8 @@ impl<B: 'static> Router<B> {
         *expect = pkt.seq + 1;
 
         let latency = ctx.now() + tail_at - wire.sent_at;
-        self.stats.delivered += 1;
-        self.stats.delivered_bytes += u64::from(pkt.payload_bytes);
+        tc.delivered += 1;
+        tc.delivered_bytes += u64::from(pkt.payload_bytes);
         self.stats.latency.record(latency);
 
         if wire.wants_ack {
@@ -317,7 +376,7 @@ impl<B: 'static> Router<B> {
     }
 
     /// Stamp and route one accepted send (past the end-to-end gate).
-    fn inject<M>(&mut self, ctx: &mut Ctx<'_, M>, send: NetSend<B>)
+    fn inject<M>(&mut self, ctx: &mut Ctx<'_, M>, send: NetSend<B>, tc: &mut TrainCounters)
     where
         M: NetProtocol<Body = B>,
     {
@@ -353,31 +412,33 @@ impl<B: 'static> Router<B> {
         };
         *seq += 1;
         let wants_ack = self.e2e_credits.contains_key(&packet.endpoint);
-        // The one allocation of the packet's life: this box is reused
-        // hop to hop until `deliver` consumes it.
-        self.route_or_deliver(
-            ctx,
-            Box::new(Wire {
-                packet,
-                tail_lag: SimTime::ZERO,
-                sent_at: ctx.now(),
-                via: None,
-                wants_ack,
-            }),
-        );
+        // Interned once for the packet's whole life: the pool slot is
+        // recycled when `deliver` takes it, so steady-state injection
+        // allocates nothing (the old `Box` was one allocation per
+        // packet).
+        let sent_at = ctx.now();
+        let wire = ctx.pools().intern(Wire {
+            packet,
+            tail_lag: SimTime::ZERO,
+            sent_at,
+            via: None,
+            wants_ack,
+        });
+        self.route_or_deliver(ctx, wire, tc);
     }
 }
 
-impl<B: 'static> Router<B> {
+impl<B: Send + 'static> Router<B> {
     /// Per-message logic shared by [`Component::handle`] and the batch
-    /// hook.
-    fn handle_net<M>(&mut self, ctx: &mut Ctx<'_, M>, msg: NetMsg<B>)
+    /// hook. Additive statistics go through `tc`, which the dispatch
+    /// entry points flush once per train.
+    fn handle_net<M>(&mut self, ctx: &mut Ctx<'_, M>, msg: NetMsg<B>, tc: &mut TrainCounters)
     where
         M: NetProtocol<Body = B>,
     {
         match msg {
             NetMsg::Send(send) => {
-                self.stats.injected += 1;
+                tc.injected += 1;
                 if send.dst != self.node {
                     if let Some(&cap) = self.e2e_credits.get(&send.endpoint) {
                         let key = (send.endpoint, send.dst);
@@ -389,7 +450,7 @@ impl<B: 'static> Router<B> {
                         *outstanding += 1;
                     }
                 }
-                self.inject(ctx, send);
+                self.inject(ctx, send, tc);
             }
             NetMsg::Ack(ack) => {
                 let key = (ack.endpoint, ack.dst);
@@ -404,17 +465,17 @@ impl<B: 'static> Router<B> {
                     .and_then(VecDeque::pop_front)
                 {
                     *self.e2e_outstanding.get_mut(&key).expect("present") += 1;
-                    self.inject(ctx, next);
+                    self.inject(ctx, next, tc);
                 }
             }
-            NetMsg::Wire(wire) => self.route_or_deliver(ctx, wire),
+            NetMsg::Wire(wire) => self.route_or_deliver(ctx, wire, tc),
             NetMsg::Credit(credit) => {
                 let egress = self.ports[credit.port.0 as usize]
                     .as_mut()
                     .expect("credit for a cabled port");
                 egress.credits += 1;
                 if let Some(wire) = egress.queue.pop_front() {
-                    self.transmit(ctx, credit.port, wire);
+                    self.transmit(ctx, credit.port, wire, tc);
                 }
             }
             other => panic!("router got an unexpected message: {}", other.kind()),
@@ -424,17 +485,22 @@ impl<B: 'static> Router<B> {
 
 impl<M: NetProtocol> Component<M> for Router<M::Body> {
     fn handle(&mut self, ctx: &mut Ctx<'_, M>, msg: M) {
-        self.handle_net(ctx, msg.into_net());
+        let mut tc = TrainCounters::default();
+        self.handle_net(ctx, msg.into_net(), &mut tc);
+        self.stats.apply(tc);
     }
 
-    /// Explicit batch adoption: bursts of same-instant injections and
-    /// the credit/wire trains of a saturated lane drain in one borrow.
-    /// Equivalent to the default today — kept as the landing spot for
-    /// train-level hoists (per-flow state lookups, egress grouping).
+    /// Batched dispatch with the per-train hoist: bursts of same-instant
+    /// injections and the credit/wire trains of a saturated lane drain in
+    /// one borrow, and the additive statistics (injected / forwarded /
+    /// delivered / bytes / stalls) hit the stats struct once per train
+    /// instead of once per message.
     fn handle_batch(&mut self, ctx: &mut Ctx<'_, M>, batch: &mut Batch<M>) {
+        let mut tc = TrainCounters::default();
         while let Some(msg) = batch.next(ctx) {
-            self.handle_net(ctx, msg.into_net());
+            self.handle_net(ctx, msg.into_net(), &mut tc);
         }
+        self.stats.apply(tc);
     }
 }
 
@@ -460,9 +526,9 @@ pub fn build_network<M: NetProtocol>(
     topo: &Topology,
     params: NetParams,
 ) -> Vec<ComponentId> {
-    let routing = Rc::new(RoutingTable::compute(topo));
+    let routing = Arc::new(RoutingTable::compute(topo));
     let ids: Vec<ComponentId> = (0..topo.node_count()).map(|_| sim.reserve()).collect();
-    let peers = Rc::new(ids.clone());
+    let peers = Arc::new(ids.clone());
     for n in 0..topo.node_count() {
         let node = NodeId::from(n);
         let ports = (0..Topology::MAX_PORTS)
@@ -480,12 +546,12 @@ pub fn build_network<M: NetProtocol>(
             Router {
                 node,
                 params,
-                routing: Rc::clone(&routing),
+                routing: Arc::clone(&routing),
                 ports,
                 endpoints: HashMap::new(),
                 next_seq: HashMap::new(),
                 expect_seq: HashMap::new(),
-                peers: Rc::clone(&peers),
+                peers: Arc::clone(&peers),
                 e2e_credits: HashMap::new(),
                 e2e_outstanding: HashMap::new(),
                 e2e_waiting: HashMap::new(),

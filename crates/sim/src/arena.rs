@@ -118,6 +118,13 @@ impl<M: Message> ComponentArena<M> {
         self.entries.iter().map(|c| c.as_ref())
     }
 
+    /// Dismantle the arena into its boxes, in index order (vacant slots
+    /// come out as the sentinel). Used by the sharded runtime to deal an
+    /// already-built component graph onto per-shard arenas.
+    pub(crate) fn into_boxes(self) -> Vec<Box<dyn Component<M>>> {
+        self.entries
+    }
+
     /// Number of slots holding a real component (dense sweep; excludes
     /// reserved-but-uninstalled slots).
     pub(crate) fn installed_count(&self) -> usize {

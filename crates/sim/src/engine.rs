@@ -53,9 +53,11 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::arena::ComponentArena;
 use crate::pagestore::PageStore;
+use crate::pool::PoolStore;
 use crate::time::SimTime;
 
 /// Marker for types usable as a simulation's message type. Blanket-implemented
@@ -97,8 +99,12 @@ impl fmt::Debug for ComponentId {
 /// Implementors receive every message addressed to them via
 /// [`Component::handle`] and respond by scheduling further messages through
 /// the [`Ctx`]. The `Any` supertrait enables typed access to component
-/// state after (or during) a run via [`Simulator::component`].
-pub trait Component<M: Message>: Any {
+/// state after (or during) a run via [`Simulator::component`]; the `Send`
+/// supertrait lets the sharded runtime (see [`crate::shard`]) move whole
+/// shards onto worker threads — components are still only ever touched by
+/// one thread at a time, so this costs implementors nothing beyond not
+/// holding `Rc`s.
+pub trait Component<M: Message>: Any + Send {
     /// Process one message delivered at `ctx.now()`.
     ///
     /// Message variants a component is not wired for indicate a wiring
@@ -222,7 +228,7 @@ const NO_SLOT: u32 = u32::MAX;
 /// (the queues and the component arena are disjoint `Simulator` fields,
 /// so the executing component's `&mut` borrow never aliases them) — each
 /// send is a single inline move, with no intermediate outbox copy.
-struct Queues<M> {
+pub(crate) struct Queues<M> {
     /// Four-ary min-heap of `(key, slot)` entries.
     heap: Vec<HeapEntry>,
     /// Payload arena; freed slots chain through `free_head`.
@@ -230,7 +236,7 @@ struct Queues<M> {
     free_head: u32,
     /// Same-instant sends, globally sorted by `(at, seq)` by construction.
     fast: VecDeque<FastEvent<M>>,
-    seq: u64,
+    pub(crate) seq: u64,
 }
 
 impl<M: Message> Queues<M> {
@@ -281,16 +287,28 @@ impl<M: Message> Queues<M> {
     /// preserves the fast queue's global `(at, seq)` order).
     #[inline]
     fn push(&mut self, now: SimTime, at: SimTime, to: ComponentId, msg: M) {
-        let key = EventKey { at, seq: self.seq };
-        self.seq += 1;
         if at == now {
+            let key = EventKey { at, seq: self.seq };
+            self.seq += 1;
             self.fast.push_back(FastEvent { key, to, msg });
         } else {
-            let slot = self.alloc_slot(to, msg);
-            self.heap.push(HeapEntry { key, slot });
-            let last = self.heap.len() - 1;
-            sift_up(&mut self.heap, last);
+            self.push_heap(at, to, msg);
         }
+    }
+
+    /// Enqueue one event straight into the index heap, bypassing the
+    /// same-instant FIFO. Used for cross-shard arrivals, which are merged
+    /// at a window barrier: the fast queue's append-only ordering
+    /// argument assumes sends happen at the current instant, which does
+    /// not hold for them.
+    #[inline]
+    pub(crate) fn push_heap(&mut self, at: SimTime, to: ComponentId, msg: M) {
+        let key = EventKey { at, seq: self.seq };
+        self.seq += 1;
+        let slot = self.alloc_slot(to, msg);
+        self.heap.push(HeapEntry { key, slot });
+        let last = self.heap.len() - 1;
+        sift_up(&mut self.heap, last);
     }
 
     /// Pop the globally next event, if any: the smaller of the fast-queue
@@ -384,7 +402,7 @@ impl<M: Message> Queues<M> {
 
     /// Timestamp of the next pending event, if any.
     #[inline]
-    fn next_at(&self) -> Option<SimTime> {
+    pub(crate) fn next_at(&self) -> Option<SimTime> {
         match (self.fast.front(), self.heap.first()) {
             (None, None) => None,
             (Some(f), None) => Some(f.key.at),
@@ -392,6 +410,39 @@ impl<M: Message> Queues<M> {
             (Some(f), Some(h)) => Some(f.key.at.min(h.key.at)),
         }
     }
+}
+
+/// Sentinel in a shard-ownership table for component ids that were
+/// reserved but never installed (sends to them panic, mirroring the
+/// sequential engine's delivery-time panic).
+pub(crate) const UNOWNED: u32 = u32::MAX;
+
+/// One cross-shard send, parked in the sending shard's outbox until the
+/// next window barrier. `(at, seq, to, msg)` is the mailbox entry the
+/// receiving shard merges on; `sent_at` refines same-instant merges so
+/// they follow send order, like the sequential engine's global sequence.
+pub(crate) struct Outbound<M> {
+    pub(crate) at: SimTime,
+    pub(crate) sent_at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) to: ComponentId,
+    pub(crate) msg: M,
+}
+
+/// The sharded runtime's per-shard view: who owns every component id,
+/// which shard this is, the outgoing mailboxes, and the lookahead
+/// promise. Present only on shard member simulators (see
+/// [`crate::shard::ShardedSimulator`]); `None` on a plain [`Simulator`],
+/// whose send path then never pays more than one branch.
+pub(crate) struct ShardEnv<M> {
+    pub(crate) me: u32,
+    pub(crate) owner: Arc<Vec<u32>>,
+    /// Outgoing mailbox per destination shard (the self slot stays empty).
+    pub(crate) outboxes: Vec<Vec<Outbound<M>>>,
+    /// The model's promise: every cross-shard message takes at least
+    /// this long to arrive. The conservative execution bounds rest on
+    /// it, so it is asserted at the send site.
+    pub(crate) lookahead: SimTime,
 }
 
 /// Execution context passed to [`Component::handle`].
@@ -405,6 +456,8 @@ pub struct Ctx<'a, M: Message> {
     self_id: ComponentId,
     queues: &'a mut Queues<M>,
     pages: &'a mut PageStore,
+    pools: &'a mut PoolStore,
+    shard: Option<&'a mut ShardEnv<M>>,
 }
 
 impl<M: Message> Ctx<'_, M> {
@@ -430,11 +483,55 @@ impl<M: Message> Ctx<'_, M> {
         self.pages
     }
 
+    /// The simulator-owned control-block [`PoolStore`]: intern verbose
+    /// control objects (per-hop wire records, remote requests) here and
+    /// send the 8-byte [`crate::PoolRef`] instead of a `Box`. See the
+    /// [`crate::pool`] docs for the ownership discipline (exactly one
+    /// consumer [`take`](crate::pool::Pool::take)s each block).
+    #[inline]
+    pub fn pools(&mut self) -> &mut PoolStore {
+        self.pools
+    }
+
     /// Schedule `msg` for delivery to `to` after `delay` (zero is allowed;
     /// same-instant messages are delivered in send order).
+    ///
+    /// Under the sharded runtime a send to a component owned by another
+    /// shard is diverted into that shard's mailbox instead of the local
+    /// queues; it must be delayed by at least the lookahead (the
+    /// conservative contract every execution bound rests on), which is
+    /// asserted here.
     #[inline]
     pub fn send<T: Into<M>>(&mut self, to: ComponentId, delay: SimTime, msg: T) {
-        self.queues.push(self.now, self.now + delay, to, msg.into());
+        let at = self.now + delay;
+        if let Some(env) = self.shard.as_deref_mut() {
+            let dst = env.owner[to.index()];
+            if dst != env.me {
+                assert!(
+                    dst != UNOWNED,
+                    "message sent to uninstalled component {to:?}"
+                );
+                assert!(
+                    delay >= env.lookahead,
+                    "lookahead violation: shard {} sent to {to:?} (shard {dst}) with \
+                     delay {delay}, below the lookahead {}; cross-shard links must \
+                     have latency >= the lookahead",
+                    env.me,
+                    env.lookahead,
+                );
+                let seq = self.queues.seq;
+                self.queues.seq += 1;
+                env.outboxes[dst as usize].push(Outbound {
+                    at,
+                    sent_at: self.now,
+                    seq,
+                    to,
+                    msg: msg.into(),
+                });
+                return;
+            }
+        }
+        self.queues.push(self.now, at, to, msg.into());
     }
 
     /// Schedule a message back to the executing component — the idiom for
@@ -450,11 +547,15 @@ impl<M: Message> Ctx<'_, M> {
 ///
 /// See the [crate-level documentation](crate) for a complete example.
 pub struct Simulator<M: Message> {
-    now: SimTime,
-    delivered: u64,
-    queues: Queues<M>,
-    components: ComponentArena<M>,
-    pages: PageStore,
+    pub(crate) now: SimTime,
+    pub(crate) delivered: u64,
+    pub(crate) queues: Queues<M>,
+    pub(crate) components: ComponentArena<M>,
+    pub(crate) pages: PageStore,
+    pub(crate) pools: PoolStore,
+    /// Set only when this simulator is one shard of a
+    /// [`crate::shard::ShardedSimulator`].
+    pub(crate) shard_env: Option<ShardEnv<M>>,
 }
 
 impl<M: Message> Default for Simulator<M> {
@@ -478,6 +579,8 @@ impl<M: Message> Simulator<M> {
             queues: Queues::with_capacity(events),
             components: ComponentArena::new(),
             pages: PageStore::new(),
+            pools: PoolStore::new(),
+            shard_env: None,
         }
     }
 
@@ -494,6 +597,20 @@ impl<M: Message> Simulator<M> {
     #[inline]
     pub fn page_store_mut(&mut self) -> &mut PageStore {
         &mut self.pages
+    }
+
+    /// Shared access to the simulator-owned control-block [`PoolStore`]
+    /// (leak audits, occupancy introspection).
+    #[inline]
+    pub fn pool_store(&self) -> &PoolStore {
+        &self.pools
+    }
+
+    /// Exclusive access to the [`PoolStore`] — how experiment drivers
+    /// stage interned control blocks before injecting messages.
+    #[inline]
+    pub fn pool_store_mut(&mut self) -> &mut PoolStore {
+        &mut self.pools
     }
 
     /// Size in bytes of one fast-queue entry (the same-instant FIFO's
@@ -615,6 +732,8 @@ impl<M: Message> Simulator<M> {
             self_id: to,
             queues: &mut self.queues,
             pages: &mut self.pages,
+            pools: &mut self.pools,
+            shard: self.shard_env.as_mut(),
         };
         component.handle(&mut ctx, msg);
     }
@@ -640,6 +759,8 @@ impl<M: Message> Simulator<M> {
             self_id: to,
             queues: &mut self.queues,
             pages: &mut self.pages,
+            pools: &mut self.pools,
+            shard: self.shard_env.as_mut(),
         };
         if !ctx.queues.next_matches(at, to) {
             // Singleton event: plain per-message dispatch.
@@ -710,6 +831,33 @@ impl<M: Message> Simulator<M> {
         }
         debug_assert!(self.now <= until);
         self.now = until;
+    }
+
+    /// Run every event strictly before `end`, draining trains as
+    /// [`run`](Self::run) does, and leave the clock at the last delivered
+    /// event. The sharded runtime's window executor: the strict bound is
+    /// what makes the conservative window `[start, end)` half-open, so an
+    /// event at exactly `end` waits for the next window (after the
+    /// mailbox barrier that may deliver cross-shard events at `end`).
+    pub(crate) fn run_before(&mut self, end: SimTime) {
+        while self.queues.next_at().is_some_and(|at| at < end) {
+            let (key, to, msg) = self.queues.pop_next().expect("next_at saw an event");
+            self.dispatch_train(key.at, to, msg);
+        }
+    }
+
+    /// Enqueue one cross-shard arrival (already payload-attached) under a
+    /// fresh local sequence number. Arrivals always go through the index
+    /// heap: the fast queue's append-only ordering argument assumes sends
+    /// happen at the current instant, which barrier-merged arrivals
+    /// violate.
+    pub(crate) fn push_arrival(&mut self, at: SimTime, to: ComponentId, msg: M) {
+        debug_assert!(
+            at >= self.now,
+            "arrival predates the shard clock: at={at} now={} to={to:?}",
+            self.now
+        );
+        self.queues.push_heap(at, to, msg);
     }
 
     /// Run until the queue empties or `max_events` more events have been

@@ -46,6 +46,24 @@
 //! host-interface page buffers, `bluedbm_host::BufferPool` — enforceable
 //! as capacity views over the one shared store.
 //!
+//! Verbose **control blocks** (per-hop wire records, remote requests)
+//! get the same treatment through the typed [`PoolStore`]
+//! ([`Ctx::pools`]): intern once, move the 8-byte [`PoolRef`], the one
+//! consumer takes the object back out — steady-state traffic on those
+//! paths allocates nothing.
+//!
+//! ## Sharded parallel execution
+//!
+//! [`ShardedSimulator`] runs a partitioned component graph on N worker
+//! threads under a conservative (lookahead-based) synchronization
+//! protocol with per-pair mailboxes, deterministic barrier merges, and
+//! per-shard store segments. Sharded runs are bit-for-bit repeatable
+//! and observably identical to the sequential engine — see the
+//! [`shard`] module docs for the partitioning rules, the lookahead
+//! derivation, and the precise determinism contract. Message types opt
+//! in via [`ShardMessage`] (or the [`PlainMessage`] marker when they
+//! carry no store handles).
+//!
 //! ### Adding a new message variant
 //!
 //! 1. Define the payload struct and add a variant for it to the owning
@@ -62,8 +80,12 @@
 //!    `Msg` is **flat** (one discriminant level) and budgeted: the
 //!    compile-time assertion in `bluedbm_core::msg` fails the build if
 //!    the new variant pushes `size_of::<Msg>()` past 64 bytes — slim the
-//!    variant (handles, boxed cold metadata) rather than raising the
+//!    variant (handles, interned cold metadata) rather than raising the
 //!    budget.
+//! 4. If the variant carries a [`PageRef`] or [`PoolRef`], extend
+//!    `bluedbm_core::Msg`'s [`ShardMessage`] impl (`detach`/`attach`)
+//!    so the payload relocates when the message crosses a shard
+//!    boundary; handle-free variants need nothing.
 //!
 //! ## Example
 //!
@@ -104,14 +126,18 @@
 mod arena;
 pub mod engine;
 pub mod pagestore;
+pub mod pool;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Batch, Component, ComponentId, Ctx, Message, Simulator};
 pub use pagestore::{PageRef, PageStore};
+pub use pool::{Pool, PoolRef, PoolStore};
 pub use resource::{MultiResource, SerialResource};
 pub use rng::Rng;
+pub use shard::{PlainMessage, ShardMessage, ShardedSimulator};
 pub use stats::{Counter, Histogram, MeanTracker, Throughput};
 pub use time::{Bandwidth, SimTime};

@@ -154,7 +154,7 @@ impl MeanTracker {
 /// assert!(h.percentile(0.5) >= SimTime::us(50));
 /// assert!(h.max() >= SimTime::us(500));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Histogram {
     // Index = bucket; value = count. Bucket for value v (in ns):
     // v < 16 -> v; otherwise 16 linear sub-buckets per power of two.
@@ -291,7 +291,7 @@ impl fmt::Display for Histogram {
 /// // 2 MB in 2 ms = 1 GB/s.
 /// assert!((tp.bytes_per_sec() - 1e9).abs() / 1e9 < 1e-9);
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Throughput {
     bytes: u64,
     ops: u64,

@@ -24,6 +24,11 @@ export BLUEDBM_BENCH_JSON="$out"
 echo "== layout sizes: Msg / queue entries (fails if Msg > 64 bytes) =="
 cargo run -p bluedbm-bench --release --quiet --bin sizes
 
+# The shard-scaling rows (sim_throughput/mesh8x8_scatter_sharded{1,2,4})
+# only show real parallel speedup when the host has cores to run the
+# shards on; record the core count so the curve is interpretable.
+echo "{\"id\":\"meta/host_cpus\",\"value\":$(nproc)}" >> "$out"
+
 echo "== sim_throughput: typed kernel vs boxed baseline, cluster events/sec =="
 cargo bench -p bluedbm-bench --bench sim_throughput
 
