@@ -810,11 +810,67 @@ fn scatter_setup(
     (cluster, reads)
 }
 
+/// The ROADMAP's million-key scale point: a 10⁶-key, 8-tenant KV
+/// workload (load phase + zipfian 70/20/10 get/overwrite/delete churn)
+/// through the async `KvStore` engine — every put/get through the full
+/// flash/network/accelerator-scheduler stack — on a 4-node ring, run on
+/// the sequential engine and on 2 and 4 worker shards. Small-page
+/// `kv_flash_geometry` keeps host RAM modest; events/sec is the metric,
+/// with the `sharded*` rows against `seq` forming the scaling curve
+/// (read next to `meta/host_cpus`, as for `mesh8x8_scatter_sharded*`).
+fn bench_kv_million(c: &mut Criterion) {
+    use bluedbm_core::KvStore;
+    use bluedbm_workloads::kvgen::{kv_flash_geometry, run_requests, KvWorkloadSpec};
+
+    const NODES: usize = 4;
+    const BATCH: usize = 8192;
+    let spec = KvWorkloadSpec::million(NODES);
+    let setup = |shards: usize| {
+        let mut config = SystemConfig::scaled_down();
+        config.flash.geometry = kv_flash_geometry();
+        config.sim.shards = shards;
+        KvStore::new(Cluster::ring(NODES, &config).unwrap())
+    };
+    let run = |spec: &KvWorkloadSpec, mut store: KvStore| {
+        let summary = run_requests(&mut store, spec.load().chain(spec.churn()), BATCH);
+        assert_eq!(summary.ops, spec.total_keys() + spec.churn_ops);
+        assert_eq!(summary.errors, 0, "a sized workload must not fail");
+        store.assert_no_stranded_pages();
+        store.cluster().assert_quiescent();
+        (summary.digest, store.cluster().events_delivered())
+    };
+    // Event counts (and the result digest) are engine-independent per
+    // the PR 4 determinism contract, so one counting run serves every
+    // scenario's throughput denominator.
+    let (digest, events_per_run) = run(&spec, setup(1));
+    for (name, shards) in [
+        ("kv_million_seq", 1),
+        ("kv_million_sharded2", 2),
+        ("kv_million_sharded4", 4),
+    ] {
+        let mut g = c.benchmark_group("sim_throughput");
+        g.throughput(Throughput::Elements(events_per_run));
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || setup(shards),
+                |store| {
+                    let (d, events) = run(&spec, store);
+                    assert_eq!(d, digest, "cross-engine digest diverged");
+                    assert_eq!(events, events_per_run, "event count diverged");
+                    black_box(d)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     // Short sampling: these are smoke-level performance numbers, and the
     // full suite must run in CI time.
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_kernels, bench_trains, bench_cluster_events, bench_mesh_scale, bench_sharded_scale
+    targets = bench_kernels, bench_trains, bench_cluster_events, bench_mesh_scale, bench_sharded_scale, bench_kv_million
 }
 criterion_main!(benches);

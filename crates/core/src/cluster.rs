@@ -25,6 +25,7 @@ use bluedbm_sim::PageRef;
 use crate::config::SystemConfig;
 use crate::msg::{Msg, NetBody};
 use crate::node::{AgentOp, AgentStats, Completed, Consume, NodeAgent, DATA_ENDPOINTS, REQUEST_ENDPOINT};
+use crate::scheduler::{AccelSched, SchedStats};
 
 pub use crate::node::GlobalPageAddr;
 
@@ -196,10 +197,19 @@ pub struct Cluster {
     agents: Vec<ComponentId>,
     pcie: Vec<ComponentId>,
     controllers: Vec<Vec<ComponentId>>,
+    /// Per-node accelerator scheduler (paper Section 4).
+    scheds: Vec<ComponentId>,
     /// Node -> shard map (all zeros on the sequential engine).
     partition: Vec<u32>,
     /// Next unallocated linear page per (node, card).
     bump: Vec<Vec<usize>>,
+    /// Trimmed pages available for reallocation, per node (LIFO — the
+    /// most recently freed page is reused first, keeping the touched
+    /// footprint compact).
+    free: Vec<Vec<GlobalPageAddr>>,
+    /// Flash pages allocated and not yet freed, cluster-wide — the KV
+    /// layer's stranded-extent audit baseline.
+    pages_in_use: u64,
     next_op: u64,
 }
 
@@ -246,6 +256,7 @@ impl Cluster {
         let n = topo.node_count();
         let mut agents = Vec::with_capacity(n);
         let mut pcie = Vec::with_capacity(n);
+        let mut scheds = Vec::with_capacity(n);
         let mut controllers = Vec::with_capacity(n);
         let mut splitters = Vec::with_capacity(n);
         for (node, &node_router) in routers.iter().enumerate() {
@@ -265,6 +276,7 @@ impl Cluster {
                 node_splitters.push(split);
             }
             let link = sim.add_component(PcieLink::new(config.pcie));
+            let sched = sim.add_component(AccelSched::new(config.accel.units));
             let agent = sim.add_component(NodeAgent::new(
                 NodeId::from(node),
                 node_router,
@@ -273,6 +285,8 @@ impl Cluster {
                 config.flash.geometry.page_bytes,
                 config.host.dram_latency,
                 config.host.read_buffers,
+                sched,
+                config.accel.bandwidth,
             ));
             let router = sim
                 .component_mut::<Router<NetBody>>(node_router)
@@ -283,6 +297,7 @@ impl Cluster {
             }
             agents.push(agent);
             pcie.push(link);
+            scheds.push(sched);
             controllers.push(node_ctrls);
             splitters.push(node_splitters);
         }
@@ -295,6 +310,7 @@ impl Cluster {
                 owner[routers[node].index()] = shard;
                 owner[agents[node].index()] = shard;
                 owner[pcie[node].index()] = shard;
+                owner[scheds[node].index()] = shard;
                 for c in controllers[node].iter().chain(&splitters[node]) {
                     owner[c.index()] = shard;
                 }
@@ -306,10 +322,13 @@ impl Cluster {
             engine,
             config: *config,
             bump: vec![vec![0; config.flash.cards_per_node]; n],
+            free: vec![Vec::new(); n],
+            pages_in_use: 0,
             topo,
             routers,
             agents,
             pcie,
+            scheds,
             controllers,
             partition: partition.to_vec(),
             next_op: 0,
@@ -371,15 +390,21 @@ impl Cluster {
         &self.partition
     }
 
-    /// Allocate the next free page on `node` (round-robin across cards,
-    /// and striped across every bus and chip within a card so sequential
-    /// allocations exploit the device's full parallelism — the same
-    /// discipline the FTL uses).
+    /// Allocate the next free page on `node`: a previously
+    /// [`Cluster::free_page`]d page if one is available (most recently
+    /// freed first), otherwise the bump allocator's next page —
+    /// round-robin across cards, and striped across every bus and chip
+    /// within a card so sequential allocations exploit the device's full
+    /// parallelism (the same discipline the FTL uses).
     ///
     /// # Errors
     ///
     /// [`ClusterError::DeviceFull`] when every card is exhausted.
     pub fn alloc_page(&mut self, node: NodeId) -> Result<GlobalPageAddr, ClusterError> {
+        if let Some(addr) = self.free[node.index()].pop() {
+            self.pages_in_use += 1;
+            return Ok(addr);
+        }
         let geom = self.config.flash.geometry;
         let cards = &mut self.bump[node.index()];
         let card = (0..cards.len())
@@ -399,11 +424,51 @@ impl Cluster {
             (within / geom.pages_per_block) as u32,
             (within % geom.pages_per_block) as u32,
         );
+        self.pages_in_use += 1;
         Ok(GlobalPageAddr {
             node,
             card: card as u8,
             ppa,
         })
+    }
+
+    /// Return an allocated page to `addr.node`'s free pool: the page is
+    /// trimmed (its data invalidated and the cell reprogrammable — see
+    /// [`bluedbm_flash::array::FlashArray::trim`]) and becomes the next
+    /// allocation candidate on that node. The caller must own the page
+    /// (allocated and not already freed) and must not have reads in
+    /// flight against it — the KV store's per-key gates guarantee both.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Flash`] on an address outside the configured
+    /// geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more pages are freed than were ever allocated (a
+    /// double-free somewhere).
+    pub fn free_page(&mut self, addr: GlobalPageAddr) -> Result<(), ClusterError> {
+        let ctrl = self.controllers[addr.node.index()][addr.card as usize];
+        self.engine
+            .component_mut::<FlashController>(ctrl)
+            .expect("controller installed")
+            .array_mut()
+            .trim(addr.ppa)?;
+        self.pages_in_use = self
+            .pages_in_use
+            .checked_sub(1)
+            .expect("free_page without a matching alloc_page");
+        self.free[addr.node.index()].push(addr);
+        Ok(())
+    }
+
+    /// Flash pages currently allocated (cluster-wide): every
+    /// [`Cluster::alloc_page`] not yet returned via
+    /// [`Cluster::free_page`]. The KV store audits its directory against
+    /// this to catch stranded extents.
+    pub fn flash_pages_in_use(&self) -> u64 {
+        self.pages_in_use
     }
 
     fn op_id(&mut self) -> u64 {
@@ -421,6 +486,12 @@ impl Cluster {
 
     fn run_one(&mut self, node: NodeId, op: AgentOp) -> Result<Completed, ClusterError> {
         self.engine.schedule(SimTime::ZERO, self.agents[node.index()], op);
+        self.drain_one(node)
+    }
+
+    /// Run to quiescence and harvest the single completion `node` must
+    /// have produced, mapping its failure to an error.
+    fn drain_one(&mut self, node: NodeId) -> Result<Completed, ClusterError> {
         self.engine.run();
         let mut done = self.harvest(node);
         let one = done.pop().ok_or(ClusterError::MissingCompletion)?;
@@ -441,14 +512,20 @@ impl Cluster {
         node: NodeId,
         data: &[u8],
     ) -> Result<GlobalPageAddr, ClusterError> {
-        let addr = self.alloc_page(node)?;
-        let op_id = self.op_id();
         // Stage the page in the simulator's store (the owning node's
         // shard segment under the sharded engine); the flash controller
         // consumes (and frees) the handle once the bus has read it.
-        let buffer = self.engine.stage_page(self.agents[node.index()], data);
-        self.run_one(node, AgentOp::WriteFlash { op_id, addr, data: buffer })?;
-        Ok(addr)
+        let (_op_id, addr) = self.inject_write(node, data)?;
+        match self.drain_one(node) {
+            Ok(_) => Ok(addr),
+            Err(e) => {
+                // The write failed: the page holds nothing durable, so
+                // return it to the pool (keeps the allocation audit
+                // honest on this blocking path).
+                let _ = self.free_page(addr);
+                Err(e)
+            }
+        }
     }
 
     /// Preload a page without simulating the write (experiment setup:
@@ -465,11 +542,16 @@ impl Cluster {
     ) -> Result<GlobalPageAddr, ClusterError> {
         let addr = self.alloc_page(node)?;
         let ctrl = self.controllers[node.index()][addr.card as usize];
-        self.engine
+        let programmed = self
+            .engine
             .component_mut::<FlashController>(ctrl)
             .expect("controller installed")
             .array_mut()
-            .program(addr.ppa, data)?;
+            .program(addr.ppa, data);
+        if let Err(e) = programmed {
+            let _ = self.free_page(addr);
+            return Err(e.into());
+        }
         Ok(addr)
     }
 
@@ -589,6 +671,44 @@ impl Cluster {
         op_id
     }
 
+    /// Inject one page write at `node` (allocating the page and staging
+    /// the payload) **without running the simulation** — the write-side
+    /// twin of [`Cluster::inject_read`], used by the concurrent KV
+    /// engine to put many tenants' writes in flight at once. `data`
+    /// shorter than a page is zero-padded. Returns the op id echoed in
+    /// the completion and the page allocated.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::DeviceFull`] when `node` has no free pages.
+    pub fn inject_write(
+        &mut self,
+        node: NodeId,
+        data: &[u8],
+    ) -> Result<(u64, GlobalPageAddr), ClusterError> {
+        let addr = self.alloc_page(node)?;
+        let op_id = self.op_id();
+        let page_bytes = self.config.flash.geometry.page_bytes;
+        debug_assert!(data.len() <= page_bytes);
+        let buffer = if data.len() == page_bytes {
+            self.engine.stage_page(self.agents[node.index()], data)
+        } else {
+            let mut padded = data.to_vec();
+            padded.resize(page_bytes, 0);
+            self.engine.stage_page(self.agents[node.index()], &padded)
+        };
+        self.engine.schedule(
+            SimTime::ZERO,
+            self.agents[node.index()],
+            AgentOp::WriteFlash {
+                op_id,
+                addr,
+                data: buffer,
+            },
+        );
+        Ok((op_id, addr))
+    }
+
     /// Run the event queues to global quiescence (across all shards on
     /// the sharded engine).
     pub fn run_to_quiescence(&mut self) {
@@ -693,6 +813,16 @@ impl Cluster {
         self.engine
             .component::<NodeAgent>(self.agents[node.index()])
             .expect("agent installed")
+            .stats()
+    }
+
+    /// Accelerator-scheduler statistics for `node` (borrowed; see
+    /// [`Cluster::router_stats`]): FIFO unit grants, parked-job counts
+    /// and queue waits for the node's shared acceleration units.
+    pub fn sched_stats(&self, node: NodeId) -> &SchedStats {
+        self.engine
+            .component::<AccelSched>(self.scheds[node.index()])
+            .expect("scheduler installed")
             .stats()
     }
 

@@ -105,6 +105,38 @@ impl BaselineDevices {
     }
 }
 
+/// The shared in-store accelerator units of one node (paper Section 4).
+///
+/// "Multiple instances of a user application may compete for the same
+/// hardware acceleration units. For efficient sharing of hardware
+/// resources, BlueDBM runs a scheduler that assigns available
+/// hardware-acceleration units to competing user-applications. In our
+/// implementation, a simple FIFO-based policy is used." Each node's
+/// [`crate::scheduler::AccelSched`] component arbitrates these units;
+/// reads consumed with [`crate::node::Consume::Accel`] claim one for the
+/// time it takes to stream the page through at `bandwidth`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccelConfig {
+    /// Identical acceleration units per node (Table 2 provisions four
+    /// in-store processor slots per Virtex-7).
+    pub units: usize,
+    /// Processing bandwidth of one unit. Matched to the node's aggregate
+    /// flash bandwidth so a single tenant is never accelerator-bound —
+    /// contention only appears when tenants compete, which is the
+    /// scheduling behaviour Section 4 describes.
+    pub bandwidth: Bandwidth,
+}
+
+impl AccelConfig {
+    /// Paper-shaped accelerator provisioning.
+    pub fn paper() -> Self {
+        AccelConfig {
+            units: 4,
+            bandwidth: Bandwidth::gb(2.4),
+        }
+    }
+}
+
 /// How the simulation itself executes (not a property of the modelled
 /// hardware — changing it must never change observable results).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -151,6 +183,8 @@ pub struct SystemConfig {
     pub baseline: BaselineDevices,
     /// Power model (Table 3).
     pub power: PowerModel,
+    /// Shared accelerator units per node (Section 4 scheduling).
+    pub accel: AccelConfig,
     /// Simulation-engine execution knobs.
     pub sim: SimConfig,
 }
@@ -170,6 +204,7 @@ impl SystemConfig {
             host: HostModel::paper(),
             baseline: BaselineDevices::paper(),
             power: PowerModel::paper(),
+            accel: AccelConfig::paper(),
             sim: SimConfig::sequential(),
         }
     }

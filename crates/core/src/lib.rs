@@ -17,7 +17,12 @@
 //! * [`baselines`] — the comparison arms: host CPU model, off-the-shelf
 //!   SSD, HDD, DRAM store and the RAM-cloud spill model (Figures 16–21);
 //! * [`power`] — the Table 3 power model and the RAM-cloud comparison;
-//! * [`scheduler`] — the FIFO accelerator scheduler of Section 4.
+//! * [`scheduler`] — the FIFO accelerator scheduler of Section 4, both
+//!   as the per-node simulated component ([`scheduler::AccelSched`])
+//!   gating in-store accelerator work and as an offline calculator;
+//! * [`kvstore`] — the concurrent multi-tenant key-value workload
+//!   engine: async op submission, per-key FIFO consistency, windowed
+//!   injection, extent free-lists with a stranded-page audit.
 //!
 //! ## Example
 //!
@@ -49,10 +54,10 @@ pub mod scheduler;
 pub use cluster::{Cluster, CompletedRead, GlobalPageAddr};
 pub use msg::{Msg, NetBody};
 pub use config::SystemConfig;
-pub use kvstore::KvStore;
+pub use kvstore::{KvCompletion, KvOpId, KvOpKind, KvStore, TenantId, TenantStats};
 pub use paths::{AccessPath, LatencyBreakdown};
 pub use power::PowerModel;
-pub use scheduler::AcceleratorScheduler;
+pub use scheduler::{AccelSched, AcceleratorScheduler, SchedStats};
 
 // Re-export the node id type used throughout the public API, and the
 // page-store types payload-bearing drivers stage data through.

@@ -66,6 +66,7 @@ use bluedbm_sim::shard::ShardMessage;
 use bluedbm_sim::{PageRef, PageStore, PoolStore};
 
 use crate::node::{AgentOp, DramServed, RemoteReq, RemoteResp};
+use crate::scheduler::{SchedDone, SchedFree, SchedSubmit};
 
 /// Functional payload of a storage-network packet in the full system.
 #[derive(Debug)]
@@ -109,6 +110,12 @@ pub enum Msg {
     Op(AgentOp),
     /// Node-agent internal: delayed DRAM-buffer reply.
     Dram(DramServed),
+    /// Job submission to a node's accelerator scheduler (Section 4).
+    SchedSubmit(SchedSubmit),
+    /// Scheduler-internal delayed unit release (self-send only).
+    SchedFree(SchedFree),
+    /// Accelerator job completion (scheduler → requester).
+    SchedDone(SchedDone),
 }
 
 /// The fast-path size budget: one [`Msg`] must fit a 64-byte cache
@@ -163,6 +170,27 @@ impl From<DramServed> for Msg {
     #[inline]
     fn from(m: DramServed) -> Self {
         Msg::Dram(m)
+    }
+}
+
+impl From<SchedSubmit> for Msg {
+    #[inline]
+    fn from(m: SchedSubmit) -> Self {
+        Msg::SchedSubmit(m)
+    }
+}
+
+impl From<SchedFree> for Msg {
+    #[inline]
+    fn from(m: SchedFree) -> Self {
+        Msg::SchedFree(m)
+    }
+}
+
+impl From<SchedDone> for Msg {
+    #[inline]
+    fn from(m: SchedDone) -> Self {
+        Msg::SchedDone(m)
     }
 }
 
@@ -307,9 +335,16 @@ impl ShardMessage for Msg {
                 Ok(page) => Luggage::Page(pages.take(*page)),
                 Err(_) => Luggage::None,
             },
+            // Scheduler traffic is handle-free (and node-internal under
+            // the cluster partition, but arbitrary partitions stay
+            // correct).
+            Msg::SchedSubmit(_) | Msg::SchedDone(_) => Luggage::None,
             // Self-sends by contract: a partition can never split a
             // component from itself, so these crossing a shard boundary
             // is a wiring bug.
+            Msg::SchedFree(_) => {
+                panic!("scheduler-internal SchedFree cannot cross shards")
+            }
             Msg::FlashFinish(_) => {
                 panic!("controller-internal Finish cannot cross shards")
             }

@@ -19,10 +19,11 @@ use bluedbm_host::pcie::{Direction, PcieXfer};
 use bluedbm_net::router::{NetRecv, NetSend};
 use bluedbm_net::topology::NodeId;
 use bluedbm_sim::engine::{Batch, Component, ComponentId, Ctx};
-use bluedbm_sim::time::SimTime;
+use bluedbm_sim::time::{Bandwidth, SimTime};
 use bluedbm_sim::PageRef;
 
 use crate::msg::{Msg, NetBody};
+use crate::scheduler::{SchedDone, SchedSubmit};
 
 /// Endpoint used for remote request messages.
 pub const REQUEST_ENDPOINT: u16 = 0;
@@ -51,6 +52,12 @@ pub enum Consume {
     /// Host software: data additionally crosses the PCIe link (Host-*
     /// and H-* paths).
     Host,
+    /// A shared in-store accelerator unit: data stays on the device but
+    /// must first be granted one of the node's
+    /// `config.accel.units` units by the FIFO
+    /// [`crate::scheduler::AccelSched`] (paper Section 4) — competing
+    /// tenants queue. The KV engine's get path.
+    Accel,
 }
 
 /// Operations the experiment driver sends to a [`NodeAgent`].
@@ -259,6 +266,8 @@ pub struct AgentStats {
     pub completions: u64,
     /// Host-bound pages that had to park waiting for a read buffer.
     pub parked_pages: u64,
+    /// Read payloads submitted to the node's accelerator scheduler.
+    pub accel_jobs: u64,
 }
 
 impl AgentStats {
@@ -269,6 +278,7 @@ impl AgentStats {
         self.remote_jobs += delta.remote_jobs;
         self.completions += delta.completions;
         self.parked_pages += delta.parked_pages;
+        self.accel_jobs += delta.accel_jobs;
     }
 }
 
@@ -281,6 +291,10 @@ pub struct NodeAgent {
     cards: Vec<ComponentId>,
     page_bytes: usize,
     dram_latency: SimTime,
+    /// The node's accelerator scheduler and one unit's processing
+    /// bandwidth (for [`Consume::Accel`] reads).
+    sched: ComponentId,
+    accel_bandwidth: Bandwidth,
 
     next_tag: u16,
     flash_pending: HashMap<u16, FlashDest>,
@@ -299,6 +313,10 @@ pub struct NodeAgent {
     /// `host_parked` until a completion frees a buffer.
     host_buffers: BufferPool,
     host_parked: VecDeque<(u64, Option<GlobalPageAddr>, SimTime, PageRef)>,
+    /// Read payloads being processed on (or queued for) an accelerator
+    /// unit: job -> the op state restored when [`SchedDone`] arrives.
+    accel_pending: HashMap<u64, (u64, Option<GlobalPageAddr>, SimTime, Vec<u8>)>,
+    next_accel_job: u64,
     dram: HashMap<u64, Vec<u8>>,
     /// Finished operations awaiting harvest.
     completed: Vec<Completed>,
@@ -306,8 +324,9 @@ pub struct NodeAgent {
 }
 
 impl NodeAgent {
-    /// Build an agent for `node` wired to its router, PCIe link and flash
-    /// card frontends.
+    /// Build an agent for `node` wired to its router, PCIe link, flash
+    /// card frontends and accelerator scheduler.
+    #[allow(clippy::too_many_arguments)] // the cluster builder is the one caller
     pub fn new(
         node: NodeId,
         router: ComponentId,
@@ -316,6 +335,8 @@ impl NodeAgent {
         page_bytes: usize,
         dram_latency: SimTime,
         read_buffers: usize,
+        sched: ComponentId,
+        accel_bandwidth: Bandwidth,
     ) -> Self {
         NodeAgent {
             node,
@@ -324,6 +345,8 @@ impl NodeAgent {
             cards,
             page_bytes,
             dram_latency,
+            sched,
+            accel_bandwidth,
             next_tag: 0,
             flash_pending: HashMap::new(),
             next_req: 0,
@@ -333,6 +356,8 @@ impl NodeAgent {
             next_pcie_token: 0,
             host_buffers: BufferPool::new(read_buffers),
             host_parked: VecDeque::new(),
+            accel_pending: HashMap::new(),
+            next_accel_job: 0,
             dram: HashMap::new(),
             completed: Vec::new(),
             stats: AgentStats::default(),
@@ -428,6 +453,31 @@ impl NodeAgent {
             (Consume::Isp, data) => {
                 let data = data.map(|page| ctx.pages().take(page));
                 self.complete(tc, ctx.now(), op_id, addr, data, start);
+            }
+            (Consume::Accel, Ok(page)) => {
+                // The payload must stream through one of the node's
+                // shared accelerator units before the op counts as done;
+                // the FIFO scheduler (paper Section 4) arbitrates them
+                // among competing tenants.
+                tc.accel_jobs += 1;
+                let data = ctx.pages().take(page);
+                let duration = self.accel_bandwidth.time_for(data.len() as u64);
+                let job = self.next_accel_job;
+                self.next_accel_job += 1;
+                self.accel_pending.insert(job, (op_id, addr, start, data));
+                let me = ctx.self_id();
+                ctx.send(
+                    self.sched,
+                    SimTime::ZERO,
+                    SchedSubmit {
+                        job,
+                        reply_to: me,
+                        duration,
+                    },
+                );
+            }
+            (Consume::Accel, Err(e)) => {
+                self.complete(tc, ctx.now(), op_id, addr, Err(e), start)
             }
             (Consume::Host, Ok(page)) => {
                 if self.host_buffers.adopt(page) {
@@ -719,6 +769,13 @@ impl NodeAgent {
                         }),
                     ),
                 );
+            }
+            Msg::SchedDone(SchedDone { job }) => {
+                let (op_id, addr, start, data) = self
+                    .accel_pending
+                    .remove(&job)
+                    .expect("accelerator completion for an unknown job");
+                self.complete(tc, ctx.now(), op_id, addr, Ok(data), start);
             }
             Msg::Host(HostMsg::Done(done)) => {
                 let (op_id, addr, start) = self

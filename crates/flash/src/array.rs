@@ -82,6 +82,8 @@ pub struct ArrayStats {
     pub reads: u64,
     /// Blocks erased.
     pub erases: u64,
+    /// Pages invalidated via [`FlashArray::trim`].
+    pub trims: u64,
     /// Total single-bit corrections performed by ECC.
     pub corrected_words: u64,
     /// Reads that failed with an uncorrectable ECC error.
@@ -293,6 +295,29 @@ impl FlashArray {
         }
     }
 
+    /// Invalidate one page (a TRIM): the stored data is dropped and the
+    /// page returns to the programmable state, as if its block had been
+    /// garbage-collected around it. Real NAND can only erase whole
+    /// blocks; this models the *observable outcome* of the FTL's
+    /// copy-forward + erase at single-page granularity, so allocation
+    /// layers (the cluster KV store's free list) can recycle pages
+    /// without simulating full reclamation. Trimming an unprogrammed
+    /// page is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Address errors as for [`FlashArray::program`].
+    pub fn trim(&mut self, ppa: Ppa) -> Result<(), FlashError> {
+        self.check(ppa)?;
+        let bi = self.block_index(ppa);
+        if self.blocks[bi].programmed[ppa.page as usize] {
+            self.blocks[bi].programmed[ppa.page as usize] = false;
+            self.pages.remove(&self.geometry.linear_of(ppa));
+            self.stats.trims += 1;
+        }
+        Ok(())
+    }
+
     /// Erase a whole block (the `page` field of `ppa` is ignored).
     ///
     /// # Errors
@@ -396,6 +421,30 @@ mod tests {
         assert!(!a.is_programmed(ppa));
         a.program(ppa, &page_of(&a, 2)).unwrap();
         assert_eq!(a.read(ppa).unwrap().data, page_of(&a, 2));
+    }
+
+    #[test]
+    fn trim_invalidates_one_page_and_allows_reprogram() {
+        let mut a = tiny();
+        let victim = Ppa::new(0, 0, 2, 1);
+        let neighbor = Ppa::new(0, 0, 2, 2);
+        a.program(victim, &page_of(&a, 1)).unwrap();
+        a.program(neighbor, &page_of(&a, 2)).unwrap();
+        a.trim(victim).unwrap();
+        assert!(!a.is_programmed(victim));
+        assert_eq!(a.read(victim), Err(FlashError::NotProgrammed(victim)));
+        // Unlike erase, the rest of the block is untouched (no wear).
+        assert_eq!(a.read(neighbor).unwrap().data, page_of(&a, 2));
+        assert_eq!(a.erase_count(victim), 0);
+        // The page is programmable again.
+        a.program(victim, &page_of(&a, 3)).unwrap();
+        assert_eq!(a.read(victim).unwrap().data, page_of(&a, 3));
+        assert_eq!(a.stats().trims, 1);
+        // Trimming an erased page is a no-op.
+        a.trim(Ppa::new(1, 1, 0, 0)).unwrap();
+        assert_eq!(a.stats().trims, 1);
+        // Address checks still apply.
+        assert_eq!(a.trim(Ppa::new(9, 0, 0, 0)), Err(FlashError::OutOfRange(Ppa::new(9, 0, 0, 0))));
     }
 
     #[test]

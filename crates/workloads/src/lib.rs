@@ -12,10 +12,13 @@
 //! and [`graphgen`] modules produce seeded synthetic equivalents that
 //! reproduce the access patterns the experiments actually measure:
 //! random bucket scatter, dependent pointer chasing, and sequential
-//! scans with planted needles.
+//! scans with planted needles. [`kvgen`] generates multi-tenant
+//! key-value streams (zipfian/uniform draws, read/write/delete mixes)
+//! for the million-key workload engine.
 
 pub mod datagen;
 pub mod experiments;
 pub mod graphgen;
+pub mod kvgen;
 pub mod lshgen;
 pub mod report;
