@@ -739,18 +739,20 @@ fn mesh8x8_setup() -> (Cluster, Vec<bluedbm_core::GlobalPageAddr>) {
 /// The sharded-engine scaling scenarios: an **all-to-all** scatter
 /// (every node streams remote reads at one instant, so the whole fabric
 /// — not just one reader — is busy) on the same topology across 1, 2
-/// and 4 worker shards, plus a 256-node `mesh16x16` stream, 12.8× the
-/// paper's rack. The `sharded1` row is the sequential engine on the
+/// and 4 worker shards, plus the upper rungs of the topology ladder — a
+/// 256-node `mesh16x16` and a 1024-node `mesh32x32`, 12.8× and 51.2×
+/// the paper's rack. The `sharded1` row is the sequential engine on the
 /// identical workload: the scaling curve in `BENCH_engine.json` is the
 /// events/sec ratio against it. Shard counts beyond the host's
 /// available cores measure protocol overhead, not parallelism — read
 /// the curve next to the recorded `meta/host_cpus` row.
 fn bench_sharded_scale(c: &mut Criterion) {
-    let scenarios: [(&str, usize, usize, usize, usize); 4] = [
+    let scenarios: [(&str, usize, usize, usize, usize); 5] = [
         ("mesh8x8_scatter_sharded1", 8, 8, 1, 10),
         ("mesh8x8_scatter_sharded2", 8, 8, 2, 10),
         ("mesh8x8_scatter_sharded4", 8, 8, 4, 10),
         ("mesh16x16_scatter_stream", 16, 16, 4, 4),
+        ("mesh32x32_scatter_stream", 32, 32, 4, 1),
     ];
     for (name, rows, cols, shards, reads_per_node) in scenarios {
         let setup = || scatter_setup(rows, cols, shards, reads_per_node);

@@ -85,7 +85,9 @@
 //! # }
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use bluedbm_sim::fxhash::FxHashMap;
 
 use bluedbm_net::topology::NodeId;
 use bluedbm_sim::time::SimTime;
@@ -279,14 +281,14 @@ struct InFlight {
 /// docs](self) for the consistency and backpressure model.
 pub struct KvStore {
     cluster: Cluster,
-    directory: HashMap<Vec<u8>, ValueRecord>,
+    directory: FxHashMap<Vec<u8>, ValueRecord>,
     /// Flash pages referenced by the directory (incremental, so the
     /// stranded-extent audit is O(1) at million-key scale).
     directory_pages: u64,
-    gates: HashMap<Vec<u8>, KeyGate>,
-    ops: HashMap<KvOpId, InFlight>,
+    gates: FxHashMap<Vec<u8>, KeyGate>,
+    ops: FxHashMap<KvOpId, InFlight>,
     /// Cluster-level op id -> (KV op, page index within the op).
-    page_ops: HashMap<u64, (KvOpId, usize)>,
+    page_ops: FxHashMap<u64, (KvOpId, usize)>,
     /// Gate-holding ops awaiting injection (window backpressure).
     ready: VecDeque<KvOpId>,
     /// In-flight page commands per home node.
@@ -294,7 +296,7 @@ pub struct KvStore {
     window: usize,
     next_op: KvOpId,
     finished: Vec<KvCompletion>,
-    tenants: HashMap<TenantId, TenantStats>,
+    tenants: FxHashMap<TenantId, TenantStats>,
     page_bytes: usize,
 }
 
@@ -305,17 +307,17 @@ impl KvStore {
         let page_bytes = cluster.config().flash.geometry.page_bytes;
         KvStore {
             cluster,
-            directory: HashMap::new(),
+            directory: FxHashMap::default(),
             directory_pages: 0,
-            gates: HashMap::new(),
-            ops: HashMap::new(),
-            page_ops: HashMap::new(),
+            gates: FxHashMap::default(),
+            ops: FxHashMap::default(),
+            page_ops: FxHashMap::default(),
             ready: VecDeque::new(),
             inflight: vec![0; nodes],
             window: DEFAULT_WINDOW,
             next_op: 0,
             finished: Vec::new(),
-            tenants: HashMap::new(),
+            tenants: FxHashMap::default(),
             page_bytes,
         }
     }

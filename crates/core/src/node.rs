@@ -8,7 +8,9 @@
 //! remote requests over the integrated network, stages host-bound data
 //! through the PCIe link, and answers remote DRAM-buffer reads.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use bluedbm_sim::fxhash::FxHashMap;
 
 use bluedbm_flash::controller::{CtrlCmd, CtrlResp, Tag};
 use bluedbm_flash::error::FlashError;
@@ -297,15 +299,15 @@ pub struct NodeAgent {
     accel_bandwidth: Bandwidth,
 
     next_tag: u16,
-    flash_pending: HashMap<u16, FlashDest>,
+    flash_pending: FxHashMap<u16, FlashDest>,
     next_req: u64,
     /// Per-destination counter for round-robin data-return endpoints
     /// (spreads response traffic across parallel lanes regardless of how
     /// requests to different destinations interleave).
-    reply_rr: HashMap<NodeId, u64>,
-    net_pending: HashMap<u64, NetPending>,
+    reply_rr: FxHashMap<NodeId, u64>,
+    net_pending: FxHashMap<u64, NetPending>,
     /// Host-bound pages in flight on PCIe: token -> (op state).
-    pcie_pending: HashMap<u64, (u64, Option<GlobalPageAddr>, SimTime)>,
+    pcie_pending: FxHashMap<u64, (u64, Option<GlobalPageAddr>, SimTime)>,
     next_pcie_token: u64,
     /// The paper's host-interface read buffers: a device-to-host page
     /// must claim one of the (128 in the paper) buffers before its DMA
@@ -315,9 +317,9 @@ pub struct NodeAgent {
     host_parked: VecDeque<(u64, Option<GlobalPageAddr>, SimTime, PageRef)>,
     /// Read payloads being processed on (or queued for) an accelerator
     /// unit: job -> the op state restored when [`SchedDone`] arrives.
-    accel_pending: HashMap<u64, (u64, Option<GlobalPageAddr>, SimTime, Vec<u8>)>,
+    accel_pending: FxHashMap<u64, (u64, Option<GlobalPageAddr>, SimTime, Vec<u8>)>,
     next_accel_job: u64,
-    dram: HashMap<u64, Vec<u8>>,
+    dram: FxHashMap<u64, Vec<u8>>,
     /// Finished operations awaiting harvest.
     completed: Vec<Completed>,
     stats: AgentStats,
@@ -348,17 +350,17 @@ impl NodeAgent {
             sched,
             accel_bandwidth,
             next_tag: 0,
-            flash_pending: HashMap::new(),
+            flash_pending: FxHashMap::default(),
             next_req: 0,
-            reply_rr: HashMap::new(),
-            net_pending: HashMap::new(),
-            pcie_pending: HashMap::new(),
+            reply_rr: FxHashMap::default(),
+            net_pending: FxHashMap::default(),
+            pcie_pending: FxHashMap::default(),
             next_pcie_token: 0,
             host_buffers: BufferPool::new(read_buffers),
             host_parked: VecDeque::new(),
-            accel_pending: HashMap::new(),
+            accel_pending: FxHashMap::default(),
             next_accel_job: 0,
-            dram: HashMap::new(),
+            dram: FxHashMap::default(),
             completed: Vec::new(),
             stats: AgentStats::default(),
         }

@@ -6,7 +6,7 @@
 //! geometries cost only what is touched), injects wear-dependent bit
 //! errors, and runs every page through the SECDED codec from [`crate::ecc`].
 
-use std::collections::HashMap;
+use bluedbm_sim::fxhash::FxHashMap;
 
 use bluedbm_sim::rng::Rng;
 
@@ -100,7 +100,7 @@ type StoredPage = (Box<[u8]>, Box<[u8]>);
 pub struct FlashArray {
     geometry: FlashGeometry,
     /// Stored codewords: page data + OOB parity, keyed by linear page id.
-    pages: HashMap<usize, StoredPage>,
+    pages: FxHashMap<usize, StoredPage>,
     /// Per-block wear/bad/programmed state, keyed by linear block id.
     blocks: Vec<BlockState>,
     rng: Rng,
@@ -127,7 +127,7 @@ impl FlashArray {
             .collect();
         FlashArray {
             geometry,
-            pages: HashMap::new(),
+            pages: FxHashMap::default(),
             blocks,
             rng,
             error_model,

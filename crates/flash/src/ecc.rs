@@ -29,6 +29,7 @@ const fn data_positions() -> [u8; 64] {
     out
 }
 
+#[cfg(test)]
 const DATA_POS: [u8; 64] = data_positions();
 
 /// Inverse map: codeword position -> data bit index (or 0xFF for parity
@@ -45,6 +46,78 @@ const fn position_to_data() -> [u8; 128] {
 }
 
 const POS_TO_DATA: [u8; 128] = position_to_data();
+
+/// `SYNDROME_MASK[j]` selects the data bits whose codeword positions
+/// have bit `j` set: syndrome bit `j` is the parity of `data & mask`.
+/// Turns the per-set-bit encode loop into seven popcounts.
+const fn syndrome_masks() -> [u64; 7] {
+    let positions = data_positions();
+    let mut masks = [0u64; 7];
+    let mut j = 0;
+    while j < 7 {
+        let mut i = 0;
+        while i < 64 {
+            if positions[i] & (1 << j) != 0 {
+                masks[j] |= 1u64 << i;
+            }
+            i += 1;
+        }
+        j += 1;
+    }
+    masks
+}
+
+const SYNDROME_MASK: [u64; 7] = syndrome_masks();
+
+/// Reference encoder: seven mask parities plus the overall bit. Used to
+/// build the byte table at compile time (and by it alone at runtime).
+const fn encode_word(data: u64) -> u8 {
+    let mut syndrome = 0u8;
+    let mut j = 0;
+    while j < 7 {
+        syndrome |= (((data & SYNDROME_MASK[j]).count_ones() & 1) as u8) << j;
+        j += 1;
+    }
+    let overall = ((data.count_ones() + (syndrome as u32).count_ones()) & 1) as u8;
+    syndrome | (overall << 7)
+}
+
+/// The code is linear over GF(2) — every parity bit, including the
+/// overall bit, is an XOR of data bits — so the full 8-bit OOB of a
+/// word is the XOR of eight per-byte contributions:
+/// `OOB_TABLE[k][b] = encode(b << 8k)`. One L1-resident 2 KiB table
+/// turns encode into eight byte loads and seven XORs, with no popcounts
+/// on the hot path.
+const fn oob_table() -> [[u8; 256]; 8] {
+    let mut table = [[0u8; 256]; 8];
+    let mut k = 0;
+    while k < 8 {
+        let mut b = 0;
+        while b < 256 {
+            table[k][b] = encode_word((b as u64) << (8 * k));
+            b += 1;
+        }
+        k += 1;
+    }
+    table
+}
+
+const OOB_TABLE: [[u8; 256]; 8] = oob_table();
+
+/// The 8-bit OOB (7 Hamming parity bits + overall bit) of a data word,
+/// via the per-byte linearity table.
+#[inline]
+fn oob_of(data: u64) -> u8 {
+    let b = data.to_le_bytes();
+    OOB_TABLE[0][b[0] as usize]
+        ^ OOB_TABLE[1][b[1] as usize]
+        ^ OOB_TABLE[2][b[2] as usize]
+        ^ OOB_TABLE[3][b[3] as usize]
+        ^ OOB_TABLE[4][b[4] as usize]
+        ^ OOB_TABLE[5][b[5] as usize]
+        ^ OOB_TABLE[6][b[6] as usize]
+        ^ OOB_TABLE[7][b[7] as usize]
+}
 
 /// Outcome of decoding one codeword.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,48 +156,28 @@ impl Decoded {
 /// assert_eq!(decode(0xDEAD_BEEF_CAFE_F00D, parity), Decoded::Clean(0xDEAD_BEEF_CAFE_F00D));
 /// ```
 pub fn encode(data: u64) -> u8 {
-    let mut syndrome = 0u8;
-    let mut data_ones = 0u32;
-    let mut d = data;
-    let mut i = 0;
-    while d != 0 {
-        let tz = d.trailing_zeros();
-        i += tz;
-        syndrome ^= DATA_POS[i as usize];
-        data_ones += 1;
-        d >>= tz + 1;
-        i += 1;
-    }
-    let parity7 = syndrome & 0x7F;
-    let overall = ((data_ones + parity7.count_ones()) & 1) as u8;
-    parity7 | (overall << 7)
+    oob_of(data)
 }
 
 /// Decode a (data, parity) pair, correcting a single-bit error if present.
 pub fn decode(data: u64, parity: u8) -> Decoded {
-    let stored_parity7 = parity & 0x7F;
-    let stored_overall = parity >> 7;
-
-    // Recompute the syndrome over data and stored parity bits.
-    let mut syndrome = 0u8;
-    let mut d = data;
-    let mut i = 0u32;
-    let mut data_ones = 0u32;
-    while d != 0 {
-        let tz = d.trailing_zeros();
-        i += tz;
-        syndrome ^= DATA_POS[i as usize];
-        data_ones += 1;
-        d >>= tz + 1;
-        i += 1;
+    // Recompute the word's OOB and diff it against the stored one. A
+    // zero diff — the overwhelmingly common case — is a clean word.
+    let diff = oob_of(data) ^ parity;
+    if diff == 0 {
+        return Decoded::Clean(data);
     }
-    syndrome ^= stored_parity7;
 
-    let total_ones = data_ones + stored_parity7.count_ones() + stored_overall as u32;
-    let overall_ok = total_ones.is_multiple_of(2);
+    // Bits 0..=6 of the diff are exactly the classic Hamming syndrome
+    // (recomputed parity XOR stored parity). The overall-parity check
+    // over all 72 codeword bits folds to `diff`'s bit 7 XOR the
+    // syndrome's own parity, by the same GF(2) linearity that powers
+    // the table.
+    let syndrome = diff & 0x7F;
+    let overall_ok = ((u32::from(diff >> 7) + syndrome.count_ones()) & 1) == 0;
 
     match (syndrome, overall_ok) {
-        (0, true) => Decoded::Clean(data),
+        (0, true) => Decoded::Clean(data), // unreachable: diff == 0 above
         (0, false) => Decoded::Corrected(data), // flip was in the overall bit
         (_, false) => {
             // Single-bit error at codeword position `syndrome`.

@@ -9,7 +9,9 @@
 //! buffers" — each client component gets FIFO delivery of its responses,
 //! whatever order the flash returns them in.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
+
+use bluedbm_sim::fxhash::FxHashMap;
 
 use bluedbm_sim::engine::{Component, ComponentId, Ctx};
 use bluedbm_sim::time::SimTime;
@@ -96,11 +98,11 @@ pub struct FlashServer {
     /// Controller or splitter to issue reads to.
     backend: ComponentId,
     /// ATU: file handle -> extent list.
-    atu: HashMap<u64, Vec<Ppa>>,
+    atu: FxHashMap<u64, Vec<Ppa>>,
     free_tags: Vec<u16>,
-    in_flight: HashMap<u16, InFlight>,
+    in_flight: FxHashMap<u16, InFlight>,
     waiting: VecDeque<(ComponentId, u64, Ppa)>,
-    clients: HashMap<ComponentId, ClientQueue>,
+    clients: FxHashMap<ComponentId, ClientQueue>,
     stats: ServerStats,
 }
 
@@ -115,11 +117,11 @@ impl FlashServer {
         assert!(page_buffers > 0 && page_buffers <= u16::MAX as usize);
         FlashServer {
             backend,
-            atu: HashMap::new(),
+            atu: FxHashMap::default(),
             free_tags: (0..page_buffers as u16).rev().collect(),
-            in_flight: HashMap::new(),
+            in_flight: FxHashMap::default(),
             waiting: VecDeque::new(),
-            clients: HashMap::new(),
+            clients: FxHashMap::default(),
             stats: ServerStats::default(),
         }
     }

@@ -18,7 +18,9 @@
 //! The router is generic over the packet body type `B` and speaks the
 //! typed [`NetMsg<B>`] protocol — see [`crate::msg`].
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use bluedbm_sim::fxhash::FxHashMap;
 use std::sync::Arc;
 
 use bluedbm_sim::engine::{Batch, Component, ComponentId, Ctx, Simulator};
@@ -189,20 +191,20 @@ pub struct Router<B> {
     params: NetParams,
     routing: Arc<RoutingTable>,
     ports: Vec<Option<Egress<B>>>,
-    endpoints: HashMap<u16, ComponentId>,
-    next_seq: HashMap<(u16, NodeId), u64>,
-    expect_seq: HashMap<(u16, NodeId), u64>,
+    endpoints: FxHashMap<u16, ComponentId>,
+    next_seq: FxHashMap<(u16, NodeId), u64>,
+    expect_seq: FxHashMap<(u16, NodeId), u64>,
     /// All routers in the network, indexed by node (for end-to-end
     /// flow-control acknowledgements).
     peers: Arc<Vec<ComponentId>>,
     /// Optional end-to-end credit budget per endpoint (paper
     /// Section 3.2.3: an endpoint "can be configured to only send data
     /// when there is space on the destination endpoint").
-    e2e_credits: HashMap<u16, u32>,
+    e2e_credits: FxHashMap<u16, u32>,
     /// Outstanding unacknowledged packets per (endpoint, destination).
-    e2e_outstanding: HashMap<(u16, NodeId), u32>,
+    e2e_outstanding: FxHashMap<(u16, NodeId), u32>,
     /// Sends waiting for an end-to-end credit.
-    e2e_waiting: HashMap<(u16, NodeId), VecDeque<NetSend<B>>>,
+    e2e_waiting: FxHashMap<(u16, NodeId), VecDeque<NetSend<B>>>,
     stats: RouterStats,
 }
 
@@ -548,13 +550,13 @@ pub fn build_network<M: NetProtocol>(
                 params,
                 routing: Arc::clone(&routing),
                 ports,
-                endpoints: HashMap::new(),
-                next_seq: HashMap::new(),
-                expect_seq: HashMap::new(),
+                endpoints: FxHashMap::default(),
+                next_seq: FxHashMap::default(),
+                expect_seq: FxHashMap::default(),
                 peers: Arc::clone(&peers),
-                e2e_credits: HashMap::new(),
-                e2e_outstanding: HashMap::new(),
-                e2e_waiting: HashMap::new(),
+                e2e_credits: FxHashMap::default(),
+                e2e_outstanding: FxHashMap::default(),
+                e2e_waiting: FxHashMap::default(),
                 stats: RouterStats::default(),
             },
         );

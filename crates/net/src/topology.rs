@@ -312,6 +312,351 @@ impl Topology {
         }
         dist
     }
+
+    /// Number of cables whose endpoints land in different shards under
+    /// `partition` (`partition[n]` = shard of node `n`). Parallel lanes
+    /// count individually — each is a cable that crosses the cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` does not cover every node.
+    pub fn cut_cables(&self, partition: &[u32]) -> usize {
+        assert_eq!(partition.len(), self.node_count(), "one shard per node");
+        let mut crossings = 0;
+        for n in 0..self.node_count() {
+            for (_, m) in self.neighbors(NodeId::from(n)) {
+                if partition[n] != partition[m.index()] {
+                    crossings += 1;
+                }
+            }
+        }
+        // Every cable was seen from both ends.
+        crossings / 2
+    }
+
+    /// Minimum hop distance between every pair of shards under
+    /// `partition`: `d[s][r]` = min over nodes `a` of shard `s`, `b` of
+    /// shard `r` of the hop distance `a -> b` (0 on the diagonal,
+    /// `u32::MAX` between mutually unreachable or empty shards).
+    /// Computed with one multi-source BFS per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` does not cover every node or names a shard
+    /// `>= shards`.
+    pub fn shard_distances(&self, partition: &[u32], shards: usize) -> Vec<Vec<u32>> {
+        assert_eq!(partition.len(), self.node_count(), "one shard per node");
+        assert!(
+            partition.iter().all(|&s| (s as usize) < shards),
+            "partition names a shard out of range"
+        );
+        let mut out = vec![vec![u32::MAX; shards]; shards];
+        for (s, row) in out.iter_mut().enumerate() {
+            // Multi-source BFS from every node of shard `s`.
+            let mut dist = vec![u32::MAX; self.node_count()];
+            let mut queue = std::collections::VecDeque::new();
+            for n in 0..self.node_count() {
+                if partition[n] as usize == s {
+                    dist[n] = 0;
+                    queue.push_back(NodeId::from(n));
+                }
+            }
+            while let Some(u) = queue.pop_front() {
+                for (_, v) in self.neighbors(u) {
+                    if dist[v.index()] == u32::MAX {
+                        dist[v.index()] = dist[u.index()] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for n in 0..self.node_count() {
+                if dist[n] < row[partition[n] as usize] {
+                    row[partition[n] as usize] = dist[n];
+                }
+            }
+        }
+        out
+    }
+
+    /// A latency-aware node → shard partition that minimizes the number
+    /// of cut cables. Two deterministic candidates — the index-band
+    /// split (optimal on lines, rings and row-major mesh strips) and a
+    /// balanced region growth from k-center seeds (better on irregular
+    /// graphs) — are each refined with greedy boundary moves plus
+    /// pairwise Kernighan–Lin sweeps, and the cheaper result wins.
+    /// Fewer cut cables means less cross-shard mail, and the surviving
+    /// far shard pairs keep large per-pair lookaheads
+    /// ([`Topology::shard_distances`]), so the conservative engine
+    /// synchronizes less often.
+    ///
+    /// Fully deterministic (ties break on the lowest node index). Every
+    /// shard in `0..shards` is inhabited. For `shards >= node count`,
+    /// degenerates to one node per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or the topology has no nodes.
+    pub fn min_cut_partition(&self, shards: usize) -> Vec<u32> {
+        assert!(shards > 0, "at least one shard");
+        let n = self.node_count();
+        assert!(n > 0, "partitioning an empty topology");
+        if shards >= n {
+            return (0..n).map(|i| i as u32).collect();
+        }
+        // Balanced index bands via the spread formula (every shard
+        // inhabited even when `shards` does not divide `n`).
+        let band: Vec<u32> = (0..n).map(|i| (i * shards / n) as u32).collect();
+        let mut best: Option<(usize, u64, Vec<u32>)> = None;
+        for mut candidate in [band, self.grown_partition(shards)] {
+            self.refine_partition(&mut candidate, shards);
+            let cut = self.cut_cables(&candidate);
+            let imbalance: u64 = {
+                let mut sizes = vec![0u64; shards];
+                for &s in &candidate {
+                    sizes[s as usize] += 1;
+                }
+                sizes.iter().map(|&s| s * s).sum()
+            };
+            if best
+                .as_ref()
+                .is_none_or(|(bc, bi, _)| (cut, imbalance) < (*bc, *bi))
+            {
+                best = Some((cut, imbalance, candidate));
+            }
+        }
+        best.expect("at least one candidate").2
+    }
+
+    /// Balanced region growth: k-center seeds (greedy farthest-first
+    /// from node 0), then repeatedly give the smallest region the next
+    /// adjacent unassigned node; stragglers disconnected from every
+    /// seed land in the smallest shard.
+    fn grown_partition(&self, shards: usize) -> Vec<u32> {
+        let n = self.node_count();
+        let mut seeds: Vec<NodeId> = vec![NodeId(0)];
+        // Min and sum of distances to the chosen seeds, per node.
+        let mut seed_dist = self.distances_from(NodeId(0));
+        let mut seed_sum: Vec<u64> = seed_dist
+            .iter()
+            .map(|&d| if d == u32::MAX { u64::MAX } else { u64::from(d) })
+            .collect();
+        while seeds.len() < shards {
+            let mut best: Option<usize> = None;
+            let mut best_key = (0u64, 0u64);
+            for i in 0..n {
+                // Primary: farthest from the nearest seed (k-center).
+                // Secondary: farthest in total — on ties this prefers a
+                // fresh extreme (e.g. the remaining corner of a mesh)
+                // over a central node. Unreachable nodes (disconnected
+                // topologies) rank above any finite distance.
+                let rank = if seed_dist[i] == u32::MAX {
+                    u64::MAX
+                } else {
+                    u64::from(seed_dist[i])
+                };
+                let key = (rank, seed_sum[i]);
+                if seeds.iter().all(|s| s.index() != i) && (best.is_none() || key > best_key) {
+                    best = Some(i);
+                    best_key = key;
+                }
+            }
+            let next = NodeId::from(best.expect("shards < node count"));
+            for (i, d) in self.distances_from(next).into_iter().enumerate() {
+                seed_dist[i] = seed_dist[i].min(d);
+                let d = if d == u32::MAX { u64::MAX } else { u64::from(d) };
+                seed_sum[i] = seed_sum[i].saturating_add(d);
+            }
+            seeds.push(next);
+        }
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut assign = vec![UNASSIGNED; n];
+        let mut sizes = vec![0usize; shards];
+        let mut frontiers: Vec<std::collections::VecDeque<NodeId>> =
+            (0..shards).map(|_| std::collections::VecDeque::new()).collect();
+        for (s, &seed) in seeds.iter().enumerate() {
+            assign[seed.index()] = s as u32;
+            sizes[s] += 1;
+            frontiers[s].push_back(seed);
+        }
+        let mut assigned = shards;
+        while assigned < n {
+            // The smallest region with any frontier left grows next.
+            let Some(s) = (0..shards)
+                .filter(|&s| !frontiers[s].is_empty())
+                .min_by_key(|&s| (sizes[s], s))
+            else {
+                break; // disconnected remainder: handled below
+            };
+            let mut grew = false;
+            while let Some(u) = frontiers[s].pop_front() {
+                let next = self
+                    .neighbors(u)
+                    .map(|(_, v)| v)
+                    .filter(|v| assign[v.index()] == UNASSIGNED)
+                    .min();
+                if let Some(v) = next {
+                    assign[v.index()] = s as u32;
+                    sizes[s] += 1;
+                    assigned += 1;
+                    // `u` may have more unassigned neighbors.
+                    frontiers[s].push_front(u);
+                    frontiers[s].push_back(v);
+                    grew = true;
+                    break;
+                }
+            }
+            if !grew && frontiers.iter().all(std::collections::VecDeque::is_empty) {
+                break;
+            }
+        }
+        for a in assign.iter_mut() {
+            if *a == UNASSIGNED {
+                let s = (0..shards).min_by_key(|&s| (sizes[s], s)).expect("shards > 0");
+                *a = s as u32;
+                sizes[s] += 1;
+            }
+        }
+        assign
+    }
+
+    /// Iterated refinement: greedy single-node boundary moves (strict
+    /// cut reduction, balance-respecting), then a Kernighan–Lin sweep
+    /// over every shard pair. Each accepted change strictly reduces the
+    /// cut, so the loop terminates; the round cap bounds the worst case.
+    fn refine_partition(&self, assign: &mut [u32], shards: usize) {
+        for _ in 0..4 {
+            let mut improved = self.greedy_moves(assign, shards);
+            for a in 0..shards as u32 {
+                for b in a + 1..shards as u32 {
+                    improved |= self.kl_pass(assign, a, b);
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+    }
+
+    /// One sweep of single-node migrations: move a node to a
+    /// neighboring shard when that strictly reduces its cut cables
+    /// without growing a larger shard or emptying its own.
+    fn greedy_moves(&self, assign: &mut [u32], shards: usize) -> bool {
+        let n = self.node_count();
+        let mut sizes = vec![0usize; shards];
+        for &s in assign.iter() {
+            sizes[s as usize] += 1;
+        }
+        let mut moved_any = false;
+        for _ in 0..8 {
+            let mut moved = false;
+            for u in 0..n {
+                let a = assign[u] as usize;
+                if sizes[a] <= 1 {
+                    continue;
+                }
+                let mut degree = vec![0usize; shards];
+                for (_, v) in self.neighbors(NodeId::from(u)) {
+                    degree[assign[v.index()] as usize] += 1;
+                }
+                let Some(b) = (0..shards)
+                    .filter(|&b| b != a && degree[b] > degree[a] && sizes[a] >= sizes[b])
+                    .max_by_key(|&b| (degree[b], std::cmp::Reverse(b)))
+                else {
+                    continue;
+                };
+                assign[u] = b as u32;
+                sizes[a] -= 1;
+                sizes[b] += 1;
+                moved = true;
+                moved_any = true;
+            }
+            if !moved {
+                break;
+            }
+        }
+        moved_any
+    }
+
+    /// `D`-value of `u` for a Kernighan–Lin pass over shards `a`/`b`:
+    /// lanes to the opposite pass shard minus lanes to its own. Edges to
+    /// shards outside the pair stay cut either way, so they don't count.
+    fn kl_d(&self, assign: &[u32], a: u32, b: u32, u: usize) -> i64 {
+        let own = assign[u];
+        let other = if own == a { b } else { a };
+        let mut d = 0i64;
+        for (_, v) in self.neighbors(NodeId::from(u)) {
+            let s = assign[v.index()];
+            if s == own {
+                d -= 1;
+            } else if s == other {
+                d += 1;
+            }
+        }
+        d
+    }
+
+    /// One Kernighan–Lin sweep between shards `a` and `b`: greedily swap
+    /// the highest-`D` unlocked node of each side (swaps keep both sizes
+    /// exact), allowing transient cut increases, then keep the best
+    /// prefix. Returns whether the cut strictly improved.
+    fn kl_pass(&self, assign: &mut [u32], a: u32, b: u32) -> bool {
+        let n = self.node_count();
+        let mut d = vec![0i64; n];
+        for u in 0..n {
+            if assign[u] == a || assign[u] == b {
+                d[u] = self.kl_d(assign, a, b, u);
+            }
+        }
+        let count_a = assign.iter().filter(|&&s| s == a).count();
+        let count_b = assign.iter().filter(|&&s| s == b).count();
+        let max_swaps = count_a.min(count_b).min(128);
+        let mut locked = vec![false; n];
+        let mut swaps: Vec<(usize, usize)> = Vec::new();
+        let (mut cum, mut best_cum, mut best_len) = (0i64, 0i64, 0usize);
+        for _ in 0..max_swaps {
+            let pick = |side: u32, assign: &[u32], locked: &[bool], d: &[i64]| {
+                let mut best: Option<usize> = None;
+                for u in 0..n {
+                    if assign[u] == side && !locked[u] && best.is_none_or(|w| d[u] > d[w]) {
+                        best = Some(u);
+                    }
+                }
+                best
+            };
+            let Some(u) = pick(a, assign, &locked, &d) else { break };
+            let Some(v) = pick(b, assign, &locked, &d) else { break };
+            let lanes_uv = self
+                .neighbors(NodeId::from(u))
+                .filter(|&(_, m)| m.index() == v)
+                .count() as i64;
+            let gain = d[u] + d[v] - 2 * lanes_uv;
+            assign[u] = b;
+            assign[v] = a;
+            locked[u] = true;
+            locked[v] = true;
+            swaps.push((u, v));
+            cum += gain;
+            if cum > best_cum {
+                best_cum = cum;
+                best_len = swaps.len();
+            }
+            for w in self
+                .neighbors(NodeId::from(u))
+                .chain(self.neighbors(NodeId::from(v)))
+                .map(|(_, m)| m.index())
+            {
+                if !locked[w] && (assign[w] == a || assign[w] == b) {
+                    d[w] = self.kl_d(assign, a, b, w);
+                }
+            }
+        }
+        // Roll back everything past the best prefix.
+        for &(u, v) in &swaps[best_len..] {
+            assign[u] = a;
+            assign[v] = b;
+        }
+        best_cum > 0
+    }
 }
 
 #[cfg(test)]
@@ -447,5 +792,107 @@ mod tests {
         assert!(!t.is_connected());
         let d = t.distances_from(NodeId(0));
         assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn cut_cables_counts_lanes() {
+        let t = Topology::ring(4, 2); // 2 lanes per hop
+        // Contiguous halves cut exactly two hops = four cables.
+        assert_eq!(t.cut_cables(&[0, 0, 1, 1]), 4);
+        // Alternating shards cut every hop.
+        assert_eq!(t.cut_cables(&[0, 1, 0, 1]), 8);
+        assert_eq!(t.cut_cables(&[0, 0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn shard_distances_on_a_line() {
+        let t = Topology::line(6, 1);
+        // Shards [0,0 | 1,1 | 2,2]: adjacent pairs touch (distance 1),
+        // the end pair is 0 -> 2 at distance... n2 of shard 0 to n4 of
+        // shard 2 is 2 hops.
+        let d = t.shard_distances(&[0, 0, 1, 1, 2, 2], 3);
+        assert_eq!(d[0][0], 0);
+        assert_eq!(d[0][1], 1);
+        assert_eq!(d[1][2], 1);
+        assert_eq!(d[0][2], 3); // n1 -> n4
+        assert_eq!(d[2][0], 3); // symmetric
+    }
+
+    #[test]
+    fn shard_distances_disconnected_is_max() {
+        let t = Topology::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let d = t.shard_distances(&[0, 0, 1, 1], 2);
+        assert_eq!(d[0][1], u32::MAX);
+        assert_eq!(d[1][0], u32::MAX);
+    }
+
+    #[test]
+    fn min_cut_partition_is_balanced_contiguous_and_cheap() {
+        for (topo, shards) in [
+            (Topology::ring(20, 4), 4),
+            (Topology::mesh2d(8, 8), 4),
+            (Topology::mesh2d(8, 8), 2),
+            (Topology::line(9, 2), 3),
+        ] {
+            let n = topo.node_count();
+            let partition = topo.min_cut_partition(shards);
+            assert_eq!(partition.len(), n);
+            // Every shard inhabited, sizes within 2x of perfect balance.
+            let mut sizes = vec![0usize; shards];
+            for &s in &partition {
+                sizes[s as usize] += 1;
+            }
+            assert!(sizes.iter().all(|&sz| sz > 0), "empty shard in {sizes:?}");
+            let ideal = n.div_ceil(shards);
+            assert!(
+                sizes.iter().all(|&sz| sz <= 2 * ideal),
+                "lopsided partition {sizes:?}"
+            );
+            // No worse than the node-band split it replaces.
+            let per = n.div_ceil(shards);
+            let band: Vec<u32> = (0..n).map(|i| (i / per) as u32).collect();
+            assert!(
+                topo.cut_cables(&partition) <= topo.cut_cables(&band),
+                "min-cut ({}) worse than band ({}) on {shards} shards",
+                topo.cut_cables(&partition),
+                topo.cut_cables(&band)
+            );
+        }
+    }
+
+    #[test]
+    fn min_cut_partition_mesh_quarters() {
+        // On an even mesh the ideal 4-way cut is the two center seams
+        // (8 + 8 = 16 cables); band partitioning cuts 3 full rows of 8
+        // twice... (3 seams x 8 = 24). The partitioner must find
+        // something at least as good as the quadrant cut.
+        let t = Topology::mesh2d(8, 8);
+        let partition = t.min_cut_partition(4);
+        assert!(
+            t.cut_cables(&partition) <= 16,
+            "mesh8x8 4-way cut = {}",
+            t.cut_cables(&partition)
+        );
+    }
+
+    #[test]
+    fn min_cut_partition_is_deterministic() {
+        let t = Topology::mesh2d(5, 7);
+        assert_eq!(t.min_cut_partition(4), t.min_cut_partition(4));
+    }
+
+    #[test]
+    fn min_cut_partition_degenerate_cases() {
+        let t = Topology::ring(4, 1);
+        assert_eq!(t.min_cut_partition(1), vec![0, 0, 0, 0]);
+        // shards >= nodes: one node per shard.
+        assert_eq!(t.min_cut_partition(4), vec![0, 1, 2, 3]);
+        assert_eq!(t.min_cut_partition(9), vec![0, 1, 2, 3]);
+        // Disconnected halves land in different shards.
+        let split = Topology::from_edges(4, &[(0, 1, 1), (2, 3, 1)]);
+        let p = split.min_cut_partition(2);
+        assert_eq!(p[0], p[1]);
+        assert_eq!(p[2], p[3]);
+        assert_ne!(p[0], p[2]);
     }
 }

@@ -125,6 +125,7 @@
 
 mod arena;
 pub mod engine;
+pub mod fxhash;
 pub mod pagestore;
 pub mod pool;
 pub mod resource;
@@ -138,6 +139,6 @@ pub use pagestore::{PageRef, PageStore};
 pub use pool::{Pool, PoolRef, PoolStore};
 pub use resource::{MultiResource, SerialResource};
 pub use rng::Rng;
-pub use shard::{PlainMessage, ShardMessage, ShardedSimulator};
+pub use shard::{ExecMode, PlainMessage, ShardMessage, ShardedSimulator};
 pub use stats::{Counter, Histogram, MeanTracker, Throughput};
 pub use time::{Bandwidth, SimTime};

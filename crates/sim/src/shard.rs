@@ -15,11 +15,15 @@
 //!
 //! Cross-shard messages ride per-pair **mailboxes** (the `crossbeam`
 //! channel shim) as `(time, seq, slot, msg)` entries. Correctness rests
-//! on one property of the model: every message between components of
-//! different shards takes at least **lookahead** time units to arrive
-//! (for the BlueDBM cluster: the minimum cross-shard network link
-//! latency, 0.48 µs per hop — asserted at the send site). Execution
-//! proceeds in coordinator-free rounds:
+//! on one property of the model: every direct message from a component
+//! of shard `s` to a component of shard `r` takes at least the
+//! **per-pair lookahead** `L[s][r]` to arrive, asserted at the send
+//! site. For the BlueDBM cluster `L[s][r]` is the minimum network
+//! latency between the two shards' nodes — one hop (0.48 µs) for
+//! adjacent partitions, proportionally more for far-apart ones, which
+//! is sound because every cross-node send (cable hop, credit return,
+//! end-to-end ack) pays at least one hop of latency per hop of
+//! distance. Execution proceeds in coordinator-free rounds:
 //!
 //! 1. every worker mails its outgoing parcels, its local queue frontier,
 //!    and the earliest parcel time per destination to every other
@@ -30,15 +34,49 @@
 //!    `h_s` is empty, the run is over;
 //! 3. otherwise each worker merges its incoming mail and executes local
 //!    events strictly below its **safe bound**, the Chandy–Misra–Bryant
-//!    estimate over exact horizons: peer `s` cannot emit anything
-//!    arriving before `eot_s = min(h_s + L, min_{r≠s}(h_r) + 2L)` (its
-//!    own earliest work, or a reaction to the earliest thing another
-//!    shard could mail it — nothing is in flight after the merge, which
-//!    is what makes the `2L` reactive term sound), and the bound is the
-//!    minimum `eot` over the peers. On imbalanced phases the busy shard
-//!    runs up to two lookaheads per round while idle shards just relay
-//!    frontiers, instead of everyone lock-stepping through
-//!    one-lookahead windows.
+//!    estimate over exact horizons generalized to the pair matrix.
+//!    Nothing is in flight after the merge, so shard `t`'s earliest
+//!    possible next event is the least fixed point of
+//!
+//!    ```text
+//!    E_t = min(h_t, min_{r≠t}(E_r + L[r][t]))
+//!    ```
+//!
+//!    (its own queued work, or the earliest chain of cross-shard
+//!    reactions that could reach it — computed by Bellman–Ford style
+//!    relaxation over the matrix, identically on every worker), and the
+//!    bound is `min_{s≠me}(E_s + L[s][me])`. With a uniform matrix this
+//!    collapses to the classic `eot_s = min(h_s + L, min_{r≠s}(h_r) +
+//!    2L)` two-level estimate; with a distance-aware matrix, far shard
+//!    pairs synchronize in proportionally larger steps, so a mailbox
+//!    flush to a far partition batches the traffic of several adjacent
+//!    lookahead windows into one exchange instead of flushing every
+//!    round. On imbalanced phases the busy shard runs multiple
+//!    lookaheads per round while idle shards just relay frontiers,
+//!    instead of everyone lock-stepping through one-lookahead windows.
+//!
+//! The worker loop keeps its merge and horizon buffers (outboxes,
+//! frontier tables, arrival staging) allocated across rounds, shares
+//! one reference-counted copy of the per-destination minima with every
+//! peer, and receives with a short spin-then-park backoff — barrier
+//! mates usually answer within microseconds, so a brief `try_recv` spin
+//! (with `yield_now` probes) skips the futex round trip of a full
+//! blocking park on most rounds.
+//!
+//! ## Execution modes
+//!
+//! Where the rounds run is a scheduling decision ([`ExecMode`]),
+//! independent of what they compute. The default, [`ExecMode::Auto`],
+//! spawns one worker thread per shard only when the host has a core for
+//! each; on an oversubscribed host the workers cannot overlap anyway,
+//! so the threaded protocol's marginal cost is one futex park/unpark
+//! context switch per worker per round — tens of microseconds times
+//! tens of thousands of rounds. Auto instead runs the identical rounds
+//! **cooperatively on the calling thread** (plain vectors for
+//! mailboxes, shards taking turns), which removes that cost without
+//! changing a single delivery: the merge order and safe bounds are the
+//! same computation, so threaded and cooperative runs are bit-for-bit
+//! identical and the suite pins that.
 //!
 //! ## Determinism and observational equivalence
 //!
@@ -146,6 +184,28 @@ struct Parcel<M: ShardMessage> {
     detached: M::Detached,
 }
 
+/// How [`ShardedSimulator::run`] executes its shards.
+///
+/// The window protocol itself — round structure, merge order, safe
+/// bounds — is identical in every mode, so all modes produce
+/// bit-identical results; the modes only choose *where* the rounds run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One worker thread per shard when the host has a core for each
+    /// worker; [`Cooperative`](ExecMode::Cooperative) rounds otherwise.
+    /// On an oversubscribed host the threaded protocol spends its wall
+    /// time on futex park/unpark context switches between workers that
+    /// cannot run concurrently anyway — tens of microseconds per sync
+    /// round, tens of thousands of rounds per busy workload.
+    #[default]
+    Auto,
+    /// Always spawn one worker thread per shard.
+    Threads,
+    /// Always run the window protocol cooperatively on the calling
+    /// thread: the same rounds, with plain vectors for mailboxes.
+    Cooperative,
+}
+
 /// One round's traffic from one shard to one other shard.
 struct Exchange<M: ShardMessage> {
     parcels: Vec<Parcel<M>>,
@@ -154,8 +214,9 @@ struct Exchange<M: ShardMessage> {
     /// Earliest parcel time the sender mailed to every destination this
     /// round. Receivers fold these with the queue frontiers to compute
     /// every shard's exact post-merge horizon — which is what makes a
-    /// single exchange phase enough for a sound reactive bound.
-    out_mins: Vec<Option<SimTime>>,
+    /// single exchange phase enough for a sound reactive bound. One
+    /// shared copy per round (not one clone per peer).
+    out_mins: Arc<Vec<Option<SimTime>>>,
 }
 
 /// N-shard conservative-parallel façade over [`Simulator`]. Build the
@@ -171,36 +232,88 @@ struct Exchange<M: ShardMessage> {
 pub struct ShardedSimulator<M: ShardMessage> {
     shards: Vec<Simulator<M>>,
     owner: Arc<Vec<u32>>,
-    lookahead: SimTime,
+    /// Per-pair lookahead matrix: `lookaheads[s][r]` is the minimum
+    /// latency of any direct message from shard `s` to shard `r`
+    /// (diagonal unused, zero). One row is shared with each shard's
+    /// [`ShardEnv`] for the send-site assertion; workers use the full
+    /// matrix for the execution bound.
+    lookaheads: Arc<Vec<Arc<[SimTime]>>>,
+    /// The matrix's minimum off-diagonal entry — the classic global
+    /// conservative window, kept for probes and quick reasoning.
+    min_lookahead: SimTime,
     /// Events the source simulator had already delivered before the
     /// split, so aggregate accounting stays continuous.
     base_delivered: u64,
+    /// Cumulative synchronization rounds across all [`run`](Self::run)
+    /// calls — every worker executes the identical round count, so this
+    /// is the protocol-overhead denominator (each round is one
+    /// all-to-all exchange plus a window execution).
+    sync_rounds: u64,
+    /// Where [`run`](Self::run) executes the rounds (never changes what
+    /// they compute).
+    exec: ExecMode,
 }
 
 impl<M: ShardMessage> ShardedSimulator<M> {
-    /// Split a fully built (but idle) simulator into `shards` shards.
-    /// `owner[i]` names the shard that owns component id `i`
-    /// ([`u32::MAX`] for reserved-but-uninstalled ids); `lookahead` is
-    /// the minimum latency of any message between components of
-    /// different shards — for a cluster, the minimum cross-shard link
-    /// latency.
+    /// Split a fully built (but idle) simulator into `shards` shards
+    /// under a single global `lookahead` — the minimum latency of any
+    /// message between components of different shards. Shorthand for
+    /// [`ShardedSimulator::with_lookaheads`] with a uniform matrix.
     ///
     /// # Panics
     ///
-    /// Panics if `shards == 0`, `lookahead` is zero, the simulator still
-    /// has pending events or live store entries, `owner` does not cover
-    /// every component, or an installed component is left unowned.
+    /// As for [`ShardedSimulator::with_lookaheads`].
     pub fn from_simulator(
         sim: Simulator<M>,
         owner: Vec<u32>,
         shards: usize,
         lookahead: SimTime,
     ) -> Self {
+        let lookaheads = vec![vec![lookahead; shards]; shards];
+        Self::with_lookaheads(sim, owner, shards, lookaheads)
+    }
+
+    /// Split a fully built (but idle) simulator into `shards` shards.
+    /// `owner[i]` names the shard that owns component id `i`
+    /// ([`u32::MAX`] for reserved-but-uninstalled ids);
+    /// `lookaheads[s][r]` is the minimum latency of any direct message
+    /// from a component of shard `s` to a component of shard `r` — for
+    /// a cluster, the minimum network latency between the two shards'
+    /// nodes. Entries need not be symmetric; diagonal entries are
+    /// ignored. Larger (honest) entries for far-apart shard pairs let
+    /// the conservative bound advance in larger steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, the matrix is not `shards × shards`,
+    /// any off-diagonal entry is zero, the simulator still has pending
+    /// events or live store entries, `owner` does not cover every
+    /// component, or an installed component is left unowned.
+    pub fn with_lookaheads(
+        sim: Simulator<M>,
+        owner: Vec<u32>,
+        shards: usize,
+        lookaheads: Vec<Vec<SimTime>>,
+    ) -> Self {
         assert!(shards > 0, "at least one shard");
-        assert!(
-            lookahead > SimTime::ZERO,
-            "conservative sharding needs a positive lookahead"
-        );
+        assert_eq!(lookaheads.len(), shards, "one lookahead row per shard");
+        let mut min_lookahead: Option<SimTime> = None;
+        for (s, row) in lookaheads.iter().enumerate() {
+            assert_eq!(row.len(), shards, "one lookahead entry per shard pair");
+            for (r, &l) in row.iter().enumerate() {
+                if s == r {
+                    continue;
+                }
+                assert!(
+                    l > SimTime::ZERO,
+                    "conservative sharding needs a positive lookahead (pair {s} -> {r})"
+                );
+                min_lookahead = Some(min_lookahead.map_or(l, |m| m.min(l)));
+            }
+        }
+        let min_lookahead = min_lookahead.unwrap_or(SimTime::ZERO);
+        let lookaheads: Arc<Vec<Arc<[SimTime]>>> =
+            Arc::new(lookaheads.into_iter().map(Arc::from).collect());
         assert!(sim.is_idle(), "split the simulator before scheduling events");
         assert_eq!(
             sim.pages.live_pages(),
@@ -238,7 +351,7 @@ impl<M: ShardMessage> ShardedSimulator<M> {
                     me: me as u32,
                     owner: Arc::clone(&owner),
                     outboxes: (0..shards).map(|_| Vec::new()).collect(),
-                    lookahead,
+                    lookahead_to: Arc::clone(&lookaheads[me]),
                 });
                 part
             })
@@ -258,9 +371,25 @@ impl<M: ShardMessage> ShardedSimulator<M> {
         ShardedSimulator {
             shards: parts,
             owner,
-            lookahead,
+            lookaheads,
+            min_lookahead,
             base_delivered,
+            sync_rounds: 0,
+            exec: ExecMode::default(),
         }
+    }
+
+    /// Choose where [`run`](Self::run) executes the window protocol.
+    /// Purely a scheduling decision — results are bit-identical across
+    /// modes. The default, [`ExecMode::Auto`], spawns worker threads
+    /// only when the host has a core per shard.
+    pub fn set_exec_mode(&mut self, exec: ExecMode) {
+        self.exec = exec;
+    }
+
+    /// The current [`ExecMode`].
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec
     }
 
     /// Number of shards.
@@ -268,10 +397,21 @@ impl<M: ShardMessage> ShardedSimulator<M> {
         self.shards.len()
     }
 
-    /// The conservative window size (minimum cross-shard message
-    /// latency) this instance synchronizes on.
+    /// The minimum conservative window size — the smallest off-diagonal
+    /// entry of the lookahead matrix (for a uniform matrix, exactly the
+    /// `lookahead` given to [`ShardedSimulator::from_simulator`]).
     pub fn lookahead(&self) -> SimTime {
-        self.lookahead
+        self.min_lookahead
+    }
+
+    /// The per-pair lookahead from shard `src` to shard `dst` —
+    /// the minimum latency any message from `src` may cross with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either shard index is out of range.
+    pub fn lookahead_between(&self, src: usize, dst: usize) -> SimTime {
+        self.lookaheads[src][dst]
     }
 
     /// The shard owning component `id`, or `None` for a
@@ -298,6 +438,14 @@ impl<M: ShardMessage> ShardedSimulator<M> {
     /// before the split).
     pub fn events_delivered(&self) -> u64 {
         self.base_delivered + self.shards.iter().map(|s| s.events_delivered()).sum::<u64>()
+    }
+
+    /// Cumulative synchronization rounds executed by
+    /// [`run`](Self::run): one all-to-all mailbox/horizon exchange per
+    /// round, identical on every worker. Divide into wall time to see
+    /// what the conservative protocol itself costs.
+    pub fn sync_rounds(&self) -> u64 {
+        self.sync_rounds
     }
 
     /// Events currently pending across all shards.
@@ -393,6 +541,21 @@ impl<M: ShardMessage> ShardedSimulator<M> {
             self.shards[0].run();
             return;
         }
+        // Spin-probe for exchanges only when the host has a core per
+        // worker; on oversubscribed hosts probing burns the very
+        // timeslice the peer needs, so workers park immediately.
+        let cores_per_shard =
+            std::thread::available_parallelism().is_ok_and(|p| p.get() >= n);
+        let threads = match self.exec {
+            ExecMode::Threads => true,
+            ExecMode::Cooperative => false,
+            ExecMode::Auto => cores_per_shard,
+        };
+        if !threads {
+            let rounds = run_cooperative(&mut self.shards, &self.lookaheads);
+            self.sync_rounds += rounds;
+            return;
+        }
         // Per ordered pair (src, dst): one mailbox channel.
         let mut txs: Vec<Vec<Option<Sender<Exchange<M>>>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
@@ -408,33 +571,40 @@ impl<M: ShardMessage> ShardedSimulator<M> {
                 rxs[dst][src] = Some(rx);
             }
         }
-        let lookahead = self.lookahead;
         let sims: Vec<Simulator<M>> = self.shards.drain(..).collect();
+        let lookaheads = &self.lookaheads;
+        let spin = cores_per_shard;
         let result = crossbeam::scope(|scope| {
             let handles: Vec<_> = sims
                 .into_iter()
                 .zip(txs.drain(..).zip(rxs.drain(..)))
                 .enumerate()
                 .map(|(me, (sim, (tx_row, rx_row)))| {
-                    scope.spawn(move |_| worker(me, sim, tx_row, rx_row, lookahead))
+                    let lookaheads = Arc::clone(lookaheads);
+                    scope.spawn(move |_| worker(me, sim, tx_row, rx_row, lookaheads, spin))
                 })
                 .collect();
             let mut shards = Vec::with_capacity(n);
+            let mut rounds = 0u64;
             let mut panics = Vec::new();
             for handle in handles {
                 match handle.join() {
-                    Ok(sim) => shards.push(sim),
+                    Ok((sim, r)) => {
+                        shards.push(sim);
+                        rounds = rounds.max(r);
+                    }
                     Err(payload) => panics.push(payload),
                 }
             }
-            (shards, panics)
+            (shards, rounds, panics)
         });
         match result {
-            Ok((shards, panics)) => {
+            Ok((shards, rounds, panics)) => {
                 if let Some(payload) = pick_root_cause(panics) {
                     std::panic::resume_unwind(payload);
                 }
                 self.shards = shards;
+                self.sync_rounds += rounds;
             }
             Err(payload) => std::panic::resume_unwind(payload),
         }
@@ -471,32 +641,75 @@ fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
     }
 }
 
+/// Receive one exchange with spin-then-park backoff. With free cores,
+/// barrier mates usually answer within microseconds, so a brief
+/// `spin_loop` window followed by a few `try_recv` + `yield_now`
+/// probes skips the futex round trip of a blocking park on most
+/// rounds. On an oversubscribed host (`spin == false` — fewer cores
+/// than shards) a waiting peer cannot be making progress while we
+/// burn its timeslice, so probing only adds context switches: park
+/// immediately and let the scheduler run the peer.
+fn recv_spin<M: ShardMessage>(
+    rx: &Receiver<Exchange<M>>,
+    spin: bool,
+) -> Result<Exchange<M>, ()> {
+    use crossbeam::channel::TryRecvError;
+    if spin {
+        for probe in 0..40u32 {
+            match rx.try_recv() {
+                Ok(exchange) => return Ok(exchange),
+                Err(TryRecvError::Disconnected) => return Err(()),
+                Err(TryRecvError::Empty) => {
+                    if probe < 32 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+    rx.recv().map_err(|_| ())
+}
+
 /// One shard's worker loop: exchange mailboxes + horizons with every
 /// peer, agree (identically, with no coordinator) on the next window,
 /// execute it, repeat until the global horizon is empty. Returns the
-/// shard simulator so the façade can be reassembled.
+/// shard simulator (so the façade can be reassembled) and the number of
+/// rounds executed — identical on every worker by construction.
 fn worker<M: ShardMessage>(
     me: usize,
     mut sim: Simulator<M>,
     txs: Vec<Option<Sender<Exchange<M>>>>,
     rxs: Vec<Option<Receiver<Exchange<M>>>>,
-    lookahead: SimTime,
-) -> Simulator<M> {
+    lookaheads: Arc<Vec<Arc<[SimTime]>>>,
+    spin: bool,
+) -> (Simulator<M>, u64) {
     let n = txs.len();
+    let mut rounds = 0u64;
+    // Round-persistent merge and horizon buffers: allocated once, reused
+    // every round (the protocol runs thousands of rounds on busy
+    // workloads, so per-round allocation is pure overhead).
+    let mut outgoing: Vec<Vec<Parcel<M>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut queue_nexts: Vec<Option<SimTime>> = vec![None; n];
+    let mut all_out_mins: Vec<Option<Arc<Vec<Option<SimTime>>>>> = vec![None; n];
+    let mut arrivals: Vec<(usize, Parcel<M>)> = Vec::new();
+    let mut horizons: Vec<Option<SimTime>> = vec![None; n];
+    // `earliest[t]` is the fixed-point estimate `E_t` (see module doc).
+    let mut earliest: Vec<Option<SimTime>> = vec![None; n];
     loop {
         // Detach store payloads from this round's outbound mail (empty on
         // the first round of a run) and note the earliest parcel time per
-        // destination.
-        let mut outgoing: Vec<Vec<Parcel<M>>> = (0..n).map(|_| Vec::new()).collect();
+        // destination. The outboxes are swapped out, drained and swapped
+        // back so their capacity survives the round.
         let mut out_mins: Vec<Option<SimTime>> = vec![None; n];
         for dst in 0..n {
             if dst == me {
                 continue;
             }
-            let raw: Vec<Outbound<M>> = std::mem::take(
-                &mut sim.shard_env.as_mut().expect("shard env installed").outboxes[dst],
-            );
-            for mut out in raw {
+            let env = sim.shard_env.as_mut().expect("shard env installed");
+            let mut raw: Vec<Outbound<M>> = std::mem::take(&mut env.outboxes[dst]);
+            for mut out in raw.drain(..) {
                 out_mins[dst] = min_opt(out_mins[dst], Some(out.at));
                 let detached = out.msg.detach(&mut sim.pages, &mut sim.pools);
                 outgoing[dst].push(Parcel {
@@ -508,7 +721,11 @@ fn worker<M: ShardMessage>(
                     detached,
                 });
             }
+            sim.shard_env.as_mut().expect("shard env installed").outboxes[dst] = raw;
         }
+        // One shared copy of the per-destination minima for all peers
+        // (instead of one clone per peer).
+        let out_mins = Arc::new(out_mins);
         let queue_next = sim.queues.next_at();
         // All-to-all: mailboxes + frontiers out, then the same in. Sends
         // never block (unbounded), so the exchange cannot deadlock.
@@ -522,25 +739,19 @@ fn worker<M: ShardMessage>(
             let _ = txs[dst].as_ref().expect("channel to every peer").send(Exchange {
                 parcels,
                 queue_next,
-                out_mins: out_mins.clone(),
+                out_mins: Arc::clone(&out_mins),
             });
         }
-        let mut queue_nexts: Vec<Option<SimTime>> = vec![None; n];
         queue_nexts[me] = queue_next;
-        let mut all_out_mins: Vec<Vec<Option<SimTime>>> = vec![Vec::new(); n];
-        all_out_mins[me] = out_mins;
-        let mut arrivals: Vec<(usize, Parcel<M>)> = Vec::new();
+        all_out_mins[me] = Some(out_mins);
         for src in 0..n {
             if src == me {
                 continue;
             }
-            let exchange = rxs[src]
-                .as_ref()
-                .expect("channel from every peer")
-                .recv()
-                .unwrap_or_else(|_| panic!("shard {me}: {PEER_LOST} (shard {src})"));
+            let exchange = recv_spin(rxs[src].as_ref().expect("channel from every peer"), spin)
+                .unwrap_or_else(|()| panic!("shard {me}: {PEER_LOST} (shard {src})"));
             queue_nexts[src] = exchange.queue_next;
-            all_out_mins[src] = exchange.out_mins;
+            all_out_mins[src] = Some(exchange.out_mins);
             arrivals.extend(exchange.parcels.into_iter().map(|p| (src, p)));
         }
         // Deterministic merge: arrival instant, then send instant (the
@@ -548,7 +759,7 @@ fn worker<M: ShardMessage>(
         // with send time), then source shard, then the source's own send
         // order.
         arrivals.sort_by_key(|(src, p)| (p.at, p.sent_at, *src, p.seq));
-        for (_, mut parcel) in arrivals {
+        for (_, mut parcel) in arrivals.drain(..) {
             parcel
                 .msg
                 .attach(parcel.detached, &mut sim.pages, &mut sim.pools);
@@ -557,44 +768,191 @@ fn worker<M: ShardMessage>(
         // Every shard's exact *post-merge* horizon, computed identically
         // by every worker from the exchanged frontiers: its queue plus
         // every parcel just mailed to it. After the merge nothing is in
-        // flight, which is what makes the reactive `+2L` term below
+        // flight, which is what makes the reactive fixed point below
         // sound.
-        let horizons: Vec<Option<SimTime>> = (0..n)
-            .map(|t| {
-                let mailed = (0..n)
-                    .filter(|&r| r != t)
-                    .filter_map(|r| all_out_mins[r].get(t).copied().flatten())
-                    .min();
-                min_opt(queue_nexts[t], mailed)
-            })
-            .collect();
-        if horizons.iter().all(Option::is_none) {
-            return sim;
+        let mut all_empty = true;
+        for t in 0..n {
+            let mailed = (0..n)
+                .filter(|&r| r != t)
+                .filter_map(|r| {
+                    all_out_mins[r]
+                        .as_ref()
+                        .and_then(|mins| mins.get(t).copied().flatten())
+                })
+                .min();
+            horizons[t] = min_opt(queue_nexts[t], mailed);
+            all_empty &= horizons[t].is_none();
         }
-        // The Chandy–Misra–Bryant safe bound over exact horizons: peer
-        // `s` next processes at `h_s` at the earliest, so its own output
-        // arrives no sooner than `h_s + L`; anything it does *in
-        // reaction* to another shard `r` needs `r`'s output to reach it
-        // first, so that path arrives no sooner than `h_r + 2L`:
+        if all_empty {
+            return (sim, rounds);
+        }
+        rounds += 1;
+        // The Chandy–Misra–Bryant safe bound generalized to the per-pair
+        // matrix. Nothing is in flight after the merge, so shard `t`'s
+        // earliest possible next event is the least fixed point of
         //
-        //   eot_s = min(h_s + L, min_{r != s}(h_r) + 2L)
+        //   E_t = min(h_t, min_{r != t}(E_r + L[r][t]))
         //
-        // Everything strictly below `min` over the peers' `eot_s` is
-        // already in our queues — run it.
+        // — its own queued work, or the earliest chain of cross-shard
+        // reactions that could reach it. Computed by relaxation over the
+        // matrix (Bellman–Ford on the shard graph, at most n-1 passes);
+        // every worker runs the identical computation, so no
+        // coordinator is needed. Everything strictly below
+        // `min_{s != me}(E_s + L[s][me])` is already in our queues —
+        // run it.
+        earliest.copy_from_slice(&horizons);
+        for _ in 1..n {
+            let mut changed = false;
+            for t in 0..n {
+                for r in 0..n {
+                    if r == t {
+                        continue;
+                    }
+                    if let Some(er) = earliest[r] {
+                        let via = er + lookaheads[r][t];
+                        if earliest[t].is_none_or(|e| via < e) {
+                            earliest[t] = Some(via);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
         let bound = (0..n)
             .filter(|&s| s != me)
-            .filter_map(|s| {
-                let own = horizons[s].map(|h| h + lookahead);
-                let reactive = (0..n)
-                    .filter(|&r| r != s)
-                    .filter_map(|r| horizons[r])
-                    .min()
-                    .map(|h| h + lookahead + lookahead);
-                min_opt(own, reactive)
-            })
+            .filter_map(|s| earliest[s].map(|e| e + lookaheads[s][me]))
             .min();
         if let Some(bound) = bound {
             sim.run_before(bound);
+        }
+    }
+}
+
+/// Cooperative single-thread execution of the identical window
+/// protocol: the round structure, the deterministic merge order and the
+/// per-pair safe bounds are exactly those of [`worker`] — only the
+/// mailboxes are plain vectors instead of channels, and the "workers"
+/// take turns on the calling thread. Every delivery is therefore
+/// bit-identical to a threaded run.
+///
+/// This is what makes sharded runs cheap on oversubscribed hosts: with
+/// fewer cores than shards the threaded protocol cannot overlap any
+/// work, so its only marginal cost is the futex park/unpark context
+/// switch per worker per round — which this path removes entirely.
+/// Returns the number of rounds executed.
+fn run_cooperative<M: ShardMessage>(
+    sims: &mut [Simulator<M>],
+    lookaheads: &[Arc<[SimTime]>],
+) -> u64 {
+    let n = sims.len();
+    let mut rounds = 0u64;
+    // Same round-persistent buffers as the threaded worker, held once
+    // for all shards: outgoing[src][dst] parcels, frontier tables,
+    // merge staging, fixed-point estimates.
+    let mut outgoing: Vec<Vec<Vec<Parcel<M>>>> =
+        (0..n).map(|_| (0..n).map(|_| Vec::new()).collect()).collect();
+    let mut out_mins: Vec<Vec<Option<SimTime>>> = vec![vec![None; n]; n];
+    let mut queue_nexts: Vec<Option<SimTime>> = vec![None; n];
+    let mut arrivals: Vec<(usize, Parcel<M>)> = Vec::new();
+    let mut horizons: Vec<Option<SimTime>> = vec![None; n];
+    let mut earliest: Vec<Option<SimTime>> = vec![None; n];
+    loop {
+        // Exchange phase. Frontiers are captured for *every* shard
+        // before *any* shard merges, exactly like the all-to-all send
+        // in the threaded round.
+        for src in 0..n {
+            let sim = &mut sims[src];
+            for dst in 0..n {
+                if dst == src {
+                    continue;
+                }
+                let env = sim.shard_env.as_mut().expect("shard env installed");
+                let mut raw: Vec<Outbound<M>> = std::mem::take(&mut env.outboxes[dst]);
+                for mut out in raw.drain(..) {
+                    out_mins[src][dst] = min_opt(out_mins[src][dst], Some(out.at));
+                    let detached = out.msg.detach(&mut sim.pages, &mut sim.pools);
+                    outgoing[src][dst].push(Parcel {
+                        at: out.at,
+                        sent_at: out.sent_at,
+                        seq: out.seq,
+                        to: out.to,
+                        msg: out.msg,
+                        detached,
+                    });
+                }
+                sim.shard_env.as_mut().expect("shard env installed").outboxes[dst] = raw;
+            }
+            queue_nexts[src] = sim.queues.next_at();
+        }
+        // Merge phase: per destination, the worker's deterministic
+        // (arrival, send time, source shard, source seq) order.
+        for dst in 0..n {
+            for (src, from_src) in outgoing.iter_mut().enumerate() {
+                if src == dst {
+                    continue;
+                }
+                arrivals.extend(from_src[dst].drain(..).map(|p| (src, p)));
+            }
+            arrivals.sort_by_key(|(src, p)| (p.at, p.sent_at, *src, p.seq));
+            let sim = &mut sims[dst];
+            for (_, mut parcel) in arrivals.drain(..) {
+                parcel
+                    .msg
+                    .attach(parcel.detached, &mut sim.pages, &mut sim.pools);
+                sim.push_arrival(parcel.at, parcel.to, parcel.msg);
+            }
+        }
+        // Post-merge horizons and termination, as in the worker.
+        let mut all_empty = true;
+        for t in 0..n {
+            let mailed = (0..n)
+                .filter(|&r| r != t)
+                .filter_map(|r| out_mins[r][t])
+                .min();
+            horizons[t] = min_opt(queue_nexts[t], mailed);
+            all_empty &= horizons[t].is_none();
+        }
+        for row in out_mins.iter_mut() {
+            row.fill(None);
+        }
+        if all_empty {
+            return rounds;
+        }
+        rounds += 1;
+        // The identical E_t fixed point (see the worker), then each
+        // shard executes its window in turn.
+        earliest.copy_from_slice(&horizons);
+        for _ in 1..n {
+            let mut changed = false;
+            for t in 0..n {
+                for r in 0..n {
+                    if r == t {
+                        continue;
+                    }
+                    if let Some(er) = earliest[r] {
+                        let via = er + lookaheads[r][t];
+                        if earliest[t].is_none_or(|e| via < e) {
+                            earliest[t] = Some(via);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (me, sim) in sims.iter_mut().enumerate() {
+            let bound = (0..n)
+                .filter(|&s| s != me)
+                .filter_map(|s| earliest[s].map(|e| e + lookaheads[s][me]))
+                .min();
+            if let Some(bound) = bound {
+                sim.run_before(bound);
+            }
         }
     }
 }
@@ -604,7 +962,7 @@ impl<M: ShardMessage> fmt::Debug for ShardedSimulator<M> {
         f.debug_struct("ShardedSimulator")
             .field("shards", &self.shards.len())
             .field("components", &self.owner.len())
-            .field("lookahead", &self.lookahead)
+            .field("min_lookahead", &self.min_lookahead)
             .field("now", &self.now())
             .field("delivered", &self.events_delivered())
             .finish()
@@ -893,6 +1251,132 @@ mod tests {
         let mut sharded = ShardedSimulator::from_simulator(sim, vec![UNOWNED, 0], 2, HOP);
         sharded.schedule(SimTime::ZERO, b, TMsg::Val(0));
         sharded.run();
+    }
+
+    /// Three-party bounce for the matrix tests: a -> b -> c -> a with
+    /// distinct latencies, so a non-uniform matrix is honest.
+    fn triangle_world() -> (Simulator<TMsg>, [ComponentId; 3]) {
+        let mut sim = Simulator::new();
+        let a = sim.reserve();
+        let b = sim.reserve();
+        let c = sim.reserve();
+        sim.install(a, Bouncer { peer: b, delay: HOP, log: vec![] });
+        sim.install(b, Bouncer { peer: c, delay: HOP * 4, log: vec![] });
+        sim.install(c, Bouncer { peer: a, delay: HOP * 2, log: vec![] });
+        (sim, [a, b, c])
+    }
+
+    #[test]
+    fn non_uniform_matrix_matches_sequential() {
+        let (mut seq, [a, b, c]) = triangle_world();
+        seq.schedule(SimTime::ZERO, a, TMsg::Val(60));
+        seq.run();
+
+        // Honest per-pair matrix: each entry is the latency of the one
+        // link that crosses that pair (generous where no link exists —
+        // b never sends to a directly, etc.).
+        let la = |u: u64| HOP * u;
+        let matrix = vec![
+            vec![SimTime::ZERO, la(1), la(3)],
+            vec![la(6), SimTime::ZERO, la(4)],
+            vec![la(2), la(6), SimTime::ZERO],
+        ];
+        let (sim, [a2, b2, c2]) = triangle_world();
+        let mut sharded = ShardedSimulator::with_lookaheads(sim, vec![0, 1, 2], 3, matrix);
+        assert_eq!(sharded.lookahead(), la(1));
+        assert_eq!(sharded.lookahead_between(1, 0), la(6));
+        sharded.schedule(SimTime::ZERO, a2, TMsg::Val(60));
+        sharded.run();
+
+        assert_eq!(sharded.events_delivered(), seq.events_delivered());
+        assert_eq!(sharded.now(), seq.now());
+        for (s, q) in [(a2, a), (b2, b), (c2, c)] {
+            assert_eq!(
+                sharded.component::<Bouncer>(s).unwrap().log,
+                seq.component::<Bouncer>(q).unwrap().log,
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn send_below_pair_lookahead_panics() {
+        // The global minimum (0 -> 1 at HOP) would admit this send; the
+        // *pair* lookahead 1 -> 0 of 3*HOP must still catch it.
+        let mut sim = Simulator::new();
+        let sink = sim.reserve();
+        let b = sim.add_component(Burster {
+            sink,
+            shots: vec![(HOP * 2, 1)],
+        });
+        sim.install(sink, Sink { got: vec![] });
+        let matrix = vec![
+            vec![SimTime::ZERO, HOP],
+            vec![HOP * 3, SimTime::ZERO],
+        ];
+        let mut sharded = ShardedSimulator::with_lookaheads(sim, vec![0, 1], 2, matrix);
+        sharded.schedule(SimTime::ZERO, b, TMsg::Val(0));
+        sharded.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive lookahead")]
+    fn zero_off_diagonal_lookahead_rejected() {
+        let (sim, _) = triangle_world();
+        let matrix = vec![
+            vec![SimTime::ZERO, HOP, HOP],
+            vec![HOP, SimTime::ZERO, SimTime::ZERO],
+            vec![HOP, HOP, SimTime::ZERO],
+        ];
+        let _ = ShardedSimulator::with_lookaheads(sim, vec![0, 1, 2], 3, matrix);
+    }
+
+    #[test]
+    #[should_panic(expected = "one lookahead row per shard")]
+    fn wrong_matrix_shape_rejected() {
+        let (sim, _) = triangle_world();
+        let matrix = vec![vec![SimTime::ZERO, HOP], vec![HOP, SimTime::ZERO]];
+        let _ = ShardedSimulator::with_lookaheads(sim, vec![0, 1, 2], 3, matrix);
+    }
+
+    #[test]
+    fn threaded_and_cooperative_modes_are_bit_identical() {
+        // Same world, same injection, opposite ExecMode forced: every
+        // observable — delivery logs with timestamps, event totals,
+        // clock, round count — must match exactly, because the modes
+        // only move the identical rounds between threads.
+        let run = |exec: ExecMode| {
+            let (sim, [a, b, c]) = triangle_world();
+            let la = |u: u64| HOP * u;
+            let matrix = vec![
+                vec![SimTime::ZERO, la(1), la(3)],
+                vec![la(6), SimTime::ZERO, la(4)],
+                vec![la(2), la(6), SimTime::ZERO],
+            ];
+            let mut sharded = ShardedSimulator::with_lookaheads(sim, vec![0, 1, 2], 3, matrix);
+            sharded.set_exec_mode(exec);
+            assert_eq!(sharded.exec_mode(), exec);
+            sharded.schedule(SimTime::ZERO, a, TMsg::Val(60));
+            sharded.run();
+            (
+                sharded.events_delivered(),
+                sharded.now(),
+                sharded.sync_rounds(),
+                [a, b, c].map(|id| sharded.component::<Bouncer>(id).unwrap().log.clone()),
+            )
+        };
+        assert_eq!(run(ExecMode::Threads), run(ExecMode::Cooperative));
+    }
+
+    #[test]
+    fn cooperative_mode_relocates_pages_and_stays_quiescent() {
+        let (sim, a, _) = bounce_world();
+        let mut sharded = ShardedSimulator::from_simulator(sim, vec![0, 1], 2, HOP);
+        sharded.set_exec_mode(ExecMode::Cooperative);
+        sharded.schedule(SimTime::ZERO, a, TMsg::Val(25));
+        sharded.run();
+        assert_eq!(sharded.events_delivered(), 26);
+        sharded.assert_quiescent();
     }
 
     #[test]

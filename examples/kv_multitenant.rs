@@ -40,8 +40,12 @@ fn run(spec: &KvWorkloadSpec, shards: usize) -> (KvRunSummary, u64, f64) {
         format!("{shards}-shard  ")
     };
     let events = store.cluster().events_delivered();
+    let rounds = match store.cluster().sync_rounds() {
+        Some(r) => format!("  {r} sync rounds"),
+        None => String::new(),
+    };
     println!(
-        "{engine}  {:>9} ops  {:>10} events  {:>6.2} s wall  {:>5.2} M events/s  sim {:.1} ms",
+        "{engine}  {:>9} ops  {:>10} events  {:>6.2} s wall  {:>5.2} M events/s  sim {:.1} ms{rounds}",
         summary.ops,
         events,
         wall,

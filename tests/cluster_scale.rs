@@ -98,6 +98,53 @@ fn writes_through_the_full_stack_on_every_node() {
 }
 
 #[test]
+fn mesh32x32_smoke_at_4_shards() {
+    // The top of the topology ladder: 1024 nodes, sharded 4 ways by the
+    // min-cut partitioner. Build, scatter a short burst of remote reads
+    // across distant corners, run to quiescence, audit the stores.
+    use bluedbm::net::Topology;
+
+    let mut config = SystemConfig::scaled_down();
+    config.sim.shards = 4;
+    let topo = Topology::mesh2d(32, 32);
+    assert_eq!(topo.node_count(), 1024);
+    let mut cluster = Cluster::new(topo, &config).expect("mesh32x32 builds");
+    assert_eq!(cluster.shard_count(), 4);
+    // Quadrant-style cut: far shard pairs must earn a wider window than
+    // the global one-hop floor.
+    let widest = (0..4)
+        .flat_map(|s| (0..4).map(move |r| (s, r)))
+        .filter(|&(s, r)| s != r)
+        .map(|(s, r)| cluster.lookahead_between(s, r).expect("sharded"))
+        .max()
+        .expect("pairs exist");
+    assert!(widest > cluster.min_lookahead().expect("sharded"));
+
+    let page_bytes = cluster.config().flash.geometry.page_bytes;
+    // One page on every 16th node, read by the diagonally opposite node.
+    let stride = 16;
+    let addrs: Vec<_> = (0..1024)
+        .step_by(stride)
+        .map(|n| {
+            let data = vec![(n % 251) as u8; page_bytes];
+            (n, cluster.preload_page(NodeId::from(n), &data).expect("preload"))
+        })
+        .collect();
+    for &(n, addr) in &addrs {
+        cluster.inject_read(NodeId::from(1023 - n), addr, Consume::Isp);
+    }
+    cluster.run_to_quiescence();
+    let mut completions = 0;
+    for &(n, _) in &addrs {
+        let done = cluster.harvest_node(NodeId::from(1023 - n));
+        assert!(done.iter().all(|c| c.error.is_none()), "read failed at {n}");
+        completions += done.len();
+    }
+    assert_eq!(completions, addrs.len());
+    cluster.assert_quiescent();
+}
+
+#[test]
 fn host_reads_pay_pcie_everywhere() {
     let mut cluster = twenty_node_cluster();
     let page_bytes = cluster.config().flash.geometry.page_bytes;

@@ -291,6 +291,50 @@ fn mix(x: u64) -> u64 {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
+    /// Random topology × random partition map: every per-pair lookahead
+    /// is exactly `hop_latency x` the shard hop distance, and therefore
+    /// never below the global single-link bound the engine used to run
+    /// on (cross-shard cables are one hop, so the old bound is one hop
+    /// of latency).
+    #[test]
+    fn pair_lookaheads_dominate_the_global_bound(
+        shape in 0u8..3,
+        size in 6usize..13,
+        seed: u64,
+    ) {
+        let topo = || match shape {
+            0 => Topology::ring(size, 2),
+            1 => Topology::line(size, 2),
+            _ => Topology::mesh2d(3, size.div_ceil(3)),
+        };
+        let nodes = topo().node_count();
+        for shards in [2u32, 4] {
+            let partition: Vec<u32> = (0..nodes)
+                .map(|n| if n == 0 { 0 } else { (mix(seed ^ (n as u64) << 8) % u64::from(shards)) as u32 })
+                .collect();
+            let config = config_with_shards(1);
+            let cluster = Cluster::with_partition(topo(), &config, &partition).unwrap();
+            let hop = config.net.hop_latency;
+            let dists = topo().shard_distances(&partition, shards as usize);
+            let global = cluster.min_lookahead().unwrap();
+            for (s, row) in dists.iter().enumerate() {
+                for (r, &d) in row.iter().enumerate() {
+                    if s == r {
+                        continue;
+                    }
+                    let l = cluster.lookahead_between(s, r).unwrap();
+                    prop_assert!(
+                        l >= global,
+                        "pair ({s},{r}) lookahead {l} under global bound {global}"
+                    );
+                    if d != u32::MAX {
+                        prop_assert_eq!(l, hop * u64::from(d));
+                    }
+                }
+            }
+        }
+    }
+
     /// Random topology × random partition map: sharded (2 and 4 shards)
     /// and sequential runs of the same scatter workload must produce
     /// identical observations and pass the leak audit.
