@@ -57,7 +57,9 @@ impl HostModel {
     pub fn paper() -> Self {
         HostModel {
             sw_overhead: SimTime::us(100),
+            // detlint::allow(float-sim-time): paper-calibrated constant
             io_page_overhead: SimTime::from_us_f64(2.7),
+            // detlint::allow(float-sim-time): paper-calibrated constant
             nn_compare_time: SimTime::from_us_f64(22.9),
             dram_latency: SimTime::ns(200),
             read_buffers: 128,

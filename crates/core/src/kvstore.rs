@@ -886,7 +886,7 @@ mod tests {
     #[test]
     fn keys_spread_across_nodes() {
         let s = store(4);
-        let mut homes = std::collections::HashSet::new();
+        let mut homes = bluedbm_sim::fxhash::FxHashSet::default();
         for i in 0..64 {
             homes.insert(s.home_node(format!("key{i}").as_bytes()));
         }

@@ -1,0 +1,491 @@
+//! A minimal Rust lexer — just enough fidelity that the rule passes
+//! never mistake the inside of a string, comment, or char literal for
+//! code.
+//!
+//! The workspace is offline (no `syn`/`proc-macro2`/dylint), so detlint
+//! carries its own tokenizer. It handles the constructs that defeat
+//! naive regex linting:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`), including doc blocks;
+//! * plain, byte, and **raw** strings (`"…"`, `b"…"`, `r"…"`,
+//!   `r#"…"#` with any hash depth, `br#"…"#`), which may contain `//`
+//!   or `/*` without opening a comment;
+//! * char literals vs lifetimes (`'a'` vs `'a`), escaped chars
+//!   (`'\''`, `'\u{1F600}'`), and byte chars (`b'\n'`);
+//! * numeric literals with enough shape (`0x1E`, `1e12`, `2.5`,
+//!   `3f64`) for the float-vs-integer distinction rule R4 needs.
+//!
+//! Tokens carry the 1-based line they start on; comments are kept as
+//! tokens because the suppression syntax (`// detlint::allow(rule)`)
+//! lives in them.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// What the token is.
+    pub kind: TokenKind,
+}
+
+/// Token classification — only as fine-grained as the rules require.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime(String),
+    /// Numeric literal, verbatim text (`0x1E`, `1e12`, `2.5`).
+    Num(String),
+    /// String literal of any flavor (plain/byte/raw). Contents dropped.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`). Contents dropped.
+    CharLit,
+    /// Any single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// `// …` comment, text after the slashes preserved (allow syntax).
+    LineComment(String),
+    /// `/* … */` comment (possibly nested); contents preserved.
+    BlockComment(String),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `true` for comment tokens.
+    pub fn is_comment(&self) -> bool {
+        matches!(self, TokenKind::LineComment(_) | TokenKind::BlockComment(_))
+    }
+}
+
+/// `true` if a numeric literal's text denotes a float (`2.5`, `1e12`,
+/// `3f64`) rather than an integer (`7`, `0x1E`, `10u64`).
+pub fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    text.contains('.')
+        || text.contains(['e', 'E'])
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+}
+
+/// Tokenize `src`. Unterminated constructs (string/comment running off
+/// the end of the file) close at EOF rather than erroring — a linter
+/// should keep going.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, line: u32, kind: TokenKind) {
+        self.out.push(Token { line, kind });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_whitespace() => self.i += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.quote(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if c.is_alphabetic() || c == '_' => self.word(),
+                _ => {
+                    self.push(self.line, TokenKind::Punct(c));
+                    self.i += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        self.i += 2;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.i += 1;
+        }
+        self.push(start_line, TokenKind::LineComment(text));
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        self.i += 2;
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.i += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.i += 2;
+                }
+                (Some(c), _) => {
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    text.push(c);
+                    self.i += 1;
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(start_line, TokenKind::BlockComment(text));
+    }
+
+    /// Plain or byte string body, starting at the opening `"`.
+    fn string(&mut self) {
+        let start_line = self.line;
+        self.i += 1;
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.i += 2,
+                '"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => {
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    self.i += 1;
+                }
+            }
+        }
+        self.push(start_line, TokenKind::Str);
+    }
+
+    /// Raw string starting at the `#`s or `"` after an `r`/`br` prefix.
+    fn raw_string(&mut self) {
+        let start_line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        if self.peek(0) != Some('"') {
+            // `r#foo` raw identifier, not a string: emit the hashes as
+            // punctuation and let the caller's ident stand.
+            for _ in 0..hashes {
+                self.push(self.line, TokenKind::Punct('#'));
+            }
+            return;
+        }
+        self.i += 1;
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        self.i += 1;
+                        continue 'scan;
+                    }
+                }
+                self.i += 1 + hashes;
+                self.push(start_line, TokenKind::Str);
+                return;
+            }
+            self.i += 1;
+        }
+        self.push(start_line, TokenKind::Str);
+    }
+
+    /// `'` — char literal, byte-char continuation, or lifetime.
+    fn quote(&mut self) {
+        let start_line = self.line;
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: scan to the closing quote.
+            self.i += 2;
+            while let Some(c) = self.peek(0) {
+                match c {
+                    '\\' => self.i += 2,
+                    '\'' => {
+                        self.i += 1;
+                        break;
+                    }
+                    _ => self.i += 1,
+                }
+            }
+            self.push(start_line, TokenKind::CharLit);
+            return;
+        }
+        if self.peek(2) == Some('\'') && self.peek(1) != Some('\'') {
+            self.i += 3;
+            self.push(start_line, TokenKind::CharLit);
+            return;
+        }
+        if self
+            .peek(1)
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            // Lifetime.
+            self.i += 1;
+            let mut name = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    name.push(c);
+                    self.i += 1;
+                } else {
+                    break;
+                }
+            }
+            self.push(start_line, TokenKind::Lifetime(name));
+            return;
+        }
+        self.push(start_line, TokenKind::Punct('\''));
+        self.i += 1;
+    }
+
+    fn number(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        self.alnum_run(&mut text);
+        // Fraction: a dot followed by a digit (so `0..n` stays a range).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.i += 1;
+            self.alnum_run(&mut text);
+        }
+        // Signed exponent: `1e+12` / `2.5E-3`.
+        if text.ends_with(['e', 'E'])
+            && !text.starts_with("0x")
+            && !text.starts_with("0X")
+            && self.peek(0).is_some_and(|c| c == '+' || c == '-')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            text.push(self.peek(0).expect("sign peeked"));
+            self.i += 1;
+            self.alnum_run(&mut text);
+        }
+        self.push(start_line, TokenKind::Num(text));
+    }
+
+    fn alnum_run(&mut self, text: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn word(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        self.alnum_run(&mut text);
+        // String-literal prefixes: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+        // `b'x'`.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "rb", Some('"' | '#')) => {
+                self.raw_string();
+                // If raw_string bailed (raw identifier), keep the ident.
+                if matches!(self.out.last().map(|t| &t.kind), Some(TokenKind::Str)) {
+                    return;
+                }
+            }
+            ("b", Some('"')) => {
+                self.string();
+                return;
+            }
+            ("b", Some('\'')) => {
+                self.quote();
+                // Reclassify a lifetime-looking `b'x` — cannot happen:
+                // `b'` is always a byte char in practice; quote() only
+                // returns Lifetime for `'ident` with no closing quote,
+                // which we accept as-is.
+                return;
+            }
+            _ => {}
+        }
+        self.push(start_line, TokenKind::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn raw_string_containing_line_comment_is_one_string() {
+        let toks = kinds(r####"let s = r#"not // a comment"#; done"####);
+        assert!(toks.contains(&TokenKind::Str));
+        assert!(
+            !toks.iter().any(|t| t.is_comment()),
+            "// inside a raw string must not open a comment: {toks:?}"
+        );
+        assert_eq!(idents(r####"let s = r#"not // a comment"#; done"####), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn raw_string_hash_depths() {
+        // Depth 0, 1, and 2, the last containing a depth-1 terminator.
+        assert_eq!(idents(r#"a r"x" b"#), ["a", "b"]);
+        assert_eq!(idents(r##"a r#" "quoted" "# b"##), ["a", "b"]);
+        assert_eq!(idents(r###"a r##"ends "# not yet"## b"###), ["a", "b"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("before /* outer /* inner */ still outer */ after");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("before".into()),
+                TokenKind::BlockComment(" outer /* inner */ still outer ".into()),
+                TokenKind::Ident("after".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comment_tracks_lines() {
+        let toks = lex("/* a\n b\n c */ after");
+        assert_eq!(toks[1].line, 3, "token after a multi-line comment");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'a'; let e = '\\''; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t, TokenKind::Lifetime(_)))
+            .collect();
+        let chars = toks
+            .iter()
+            .filter(|t| matches!(t, TokenKind::CharLit))
+            .count();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars, 2, "{toks:?}");
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let toks = kinds("let c = '\\u{1F600}'; after");
+        assert!(toks.contains(&TokenKind::CharLit));
+        assert!(toks.contains(&TokenKind::Ident("after".into())));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"bytes // here"; let c = b'\n'; done"#);
+        assert!(
+            !toks.iter().any(|t| t.is_comment()),
+            "// inside a byte string must not open a comment"
+        );
+        assert_eq!(toks.iter().filter(|t| **t == TokenKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|t| **t == TokenKind::CharLit).count(), 1);
+        let toks = kinds(r##"let a = br#"raw bytes /* x "#; done"##);
+        assert!(!toks.iter().any(|t| t.is_comment()));
+        assert!(toks.contains(&TokenKind::Ident("done".into())));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = kinds("/// outer docs\n//! inner docs\n/** block docs */ code");
+        assert_eq!(toks.iter().filter(|t| t.is_comment()).count(), 3);
+        assert!(toks.contains(&TokenKind::Ident("code".into())));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let toks = kinds(r#"let s = "not \" /* yet"; after"#);
+        assert!(!toks.iter().any(|t| t.is_comment()));
+        assert!(toks.contains(&TokenKind::Ident("after".into())));
+    }
+
+    #[test]
+    fn number_shapes() {
+        let nums: Vec<String> = lex("7 0x1E 1e12 2.5 10u64 3f64 0..9 1e+3")
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Num(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, ["7", "0x1E", "1e12", "2.5", "10u64", "3f64", "0", "9", "1e+3"]);
+        assert!(!is_float_literal("7"));
+        assert!(!is_float_literal("0x1E"), "hex E is not an exponent");
+        assert!(!is_float_literal("10u64"));
+        assert!(is_float_literal("1e12"));
+        assert!(is_float_literal("2.5"));
+        assert!(is_float_literal("3f64"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn double_colon_is_two_puncts() {
+        let toks = kinds("std::mem");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("std".into()),
+                TokenKind::Punct(':'),
+                TokenKind::Punct(':'),
+                TokenKind::Ident("mem".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! CLI for the workspace determinism lint pass.
+//!
+//! ```text
+//! bluedbm_detlint [--rule <id>]... [--list-rules] [ROOT]
+//! ```
+//!
+//! With no `ROOT`, lints the workspace containing the current
+//! directory (found by walking up to a `Cargo.toml` declaring
+//! `[workspace]`). Prints `file:line: rule: message` per finding and
+//! exits 1 if any are unsuppressed, 0 otherwise, 2 on usage/I-O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use bluedbm_detlint::rules::{is_rule, RULES};
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: bluedbm_detlint [--rule <id>]... [--list-rules] [ROOT]\n\
+         \n\
+         Lints every .rs file under ROOT (default: enclosing cargo\n\
+         workspace) for determinism hazards. Exits 1 on findings.\n\
+         --rule <id>   only run the named rule (repeatable)\n\
+         --list-rules  print the rule table and exit"
+    );
+}
+
+fn main() -> ExitCode {
+    let mut rule_filter: Vec<String> = Vec::new();
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<24} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--rule" => {
+                let Some(id) = args.next() else {
+                    eprintln!("error: --rule needs an argument");
+                    usage();
+                    return ExitCode::from(2);
+                };
+                if !is_rule(&id) {
+                    eprintln!("error: unknown rule `{id}` (see --list-rules)");
+                    return ExitCode::from(2);
+                }
+                rule_filter.push(id);
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("error: unknown flag `{arg}`");
+                usage();
+                return ExitCode::from(2);
+            }
+            _ => {
+                if root.replace(PathBuf::from(&arg)).is_some() {
+                    eprintln!("error: more than one ROOT given");
+                    usage();
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: no ROOT given and no enclosing cargo workspace found");
+            return ExitCode::from(2);
+        }
+    };
+    if !root.is_dir() {
+        eprintln!("error: {} is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+
+    let mut report = match bluedbm_detlint::lint_tree(Path::new(&root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if !rule_filter.is_empty() {
+        report
+            .findings
+            .retain(|f| rule_filter.iter().any(|r| r == f.rule));
+    }
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if report.findings.is_empty() {
+        eprintln!("detlint: {} files clean", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "detlint: {} finding(s) in {} files scanned",
+            report.findings.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,108 @@
+//! Exact-finding-set assertions over the fixture corpus: one positive
+//! and one fully-suppressed fixture per rule. These pin both the rule
+//! matchers and the allow-scoping semantics — a change that shifts any
+//! finding by a line or drops a suppression fails here.
+
+use std::path::{Path, PathBuf};
+
+use bluedbm_detlint::{lint_source, lint_tree};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lint one fixture, returning `(line, rule)` pairs sorted.
+fn lint_fixture(name: &str) -> Vec<(u32, &'static str)> {
+    let path = fixtures_dir().join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    lint_source(&format!("tests/fixtures/{name}"), &src)
+        .into_iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn r1_no_std_hasher() {
+    assert_eq!(
+        lint_fixture("r1_positive.rs"),
+        vec![
+            (3, "no-std-hasher"),
+            (4, "no-std-hasher"),
+            (7, "no-std-hasher"),
+            (8, "no-std-hasher"),
+        ]
+    );
+    assert_eq!(lint_fixture("r1_suppressed.rs"), vec![]);
+}
+
+#[test]
+fn r2_no_wallclock() {
+    assert_eq!(
+        lint_fixture("r2_positive.rs"),
+        vec![
+            (4, "no-wallclock"),
+            (5, "no-wallclock"),
+            (6, "no-wallclock"),
+            (12, "no-wallclock"),
+        ]
+    );
+    assert_eq!(lint_fixture("r2_suppressed.rs"), vec![]);
+}
+
+#[test]
+fn r3_map_iteration_order_leak() {
+    assert_eq!(
+        lint_fixture("r3_positive.rs"),
+        vec![
+            (10, "map-iteration-order-leak"),
+            (16, "map-iteration-order-leak"),
+        ]
+    );
+    assert_eq!(lint_fixture("r3_suppressed.rs"), vec![]);
+}
+
+#[test]
+fn r4_float_sim_time() {
+    assert_eq!(
+        lint_fixture("r4_positive.rs"),
+        vec![(4, "float-sim-time"), (8, "float-sim-time")]
+    );
+    assert_eq!(lint_fixture("r4_suppressed.rs"), vec![]);
+}
+
+#[test]
+fn r5_stale_allow() {
+    assert_eq!(
+        lint_fixture("r5_positive.rs"),
+        vec![(3, "stale-allow"), (7, "stale-allow"), (10, "stale-allow")]
+    );
+    assert_eq!(lint_fixture("r5_suppressed.rs"), vec![]);
+}
+
+/// Pointing the tree walk directly at the fixture corpus must surface
+/// the injected violations (this is the binary's nonzero-exit path:
+/// `main` fails whenever `lint_tree` reports any finding).
+#[test]
+fn tree_walk_over_fixtures_reports_positives() {
+    let report = lint_tree(&fixtures_dir()).expect("walk fixtures");
+    assert_eq!(report.files_scanned, 10);
+    let positives: Vec<&str> = report
+        .findings
+        .iter()
+        .map(|f| f.file.as_str())
+        .collect();
+    assert!(!report.findings.is_empty());
+    assert!(
+        positives.iter().all(|f| f.contains("positive")),
+        "suppressed fixtures must stay clean under the tree walk: {positives:?}"
+    );
+    // Every rule id appears at least once.
+    for rule in bluedbm_detlint::rules::RULES {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule.id),
+            "no fixture finding for rule {}",
+            rule.id
+        );
+    }
+}

@@ -1,0 +1,11 @@
+// detlint fixture (R1 positive): std hash containers flagged.
+
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+
+fn build() -> usize {
+    let a: HashMap<u32, u32> = HashMap::new();
+    let b = std::collections::HashSet::<u8>::with_capacity(4);
+    let c: BTreeMap<u32, u32> = BTreeMap::new();
+    a.len() + b.len() + c.len()
+}

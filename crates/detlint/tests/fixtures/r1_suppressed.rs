@@ -1,0 +1,13 @@
+// detlint fixture (R1 suppressed): every site carries an allow, in
+// both the standalone and trailing forms.
+
+// detlint::allow(no-std-hasher): fixture exercises the standalone form
+use std::collections::HashMap;
+use std::collections::HashSet; // detlint::allow(no-std-hasher): trailing form
+
+fn build() -> usize {
+    // detlint::allow(no-std-hasher): construction site
+    let a: HashMap<u32, u32> = HashMap::new();
+    let b = HashSet::<u8>::new(); // detlint::allow(no-std-hasher): ditto
+    a.len() + b.len()
+}

@@ -1,0 +1,14 @@
+// detlint fixture (R2 positive): wall-clock / host-entropy reads.
+
+fn probe() -> (u128, bool) {
+    let t0 = std::time::Instant::now();
+    let since = std::time::SystemTime::now();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let _ = since;
+    (t0.elapsed().as_nanos(), cores > 1)
+}
+
+fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,16 @@
+// detlint fixture (R2 suppressed): the same reads, each justified.
+
+fn probe() -> (u128, bool) {
+    let t0 = std::time::Instant::now(); // detlint::allow(no-wallclock): reporting only
+    // detlint::allow(no-wallclock): never feeds SimTime
+    let since = std::time::SystemTime::now();
+    // detlint::allow(no-wallclock): capacity hint, not behavior
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let _ = since;
+    (t0.elapsed().as_nanos(), cores > 1)
+}
+
+fn roll() -> u64 {
+    let mut rng = thread_rng(); // detlint::allow(no-wallclock): test scaffolding
+    rng.next_u64()
+}

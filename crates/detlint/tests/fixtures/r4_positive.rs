@@ -1,0 +1,9 @@
+// detlint fixture (R4 positive): float-derived SimTime construction.
+
+fn transfer_time(bytes: u64, gbps: f64) -> SimTime {
+    SimTime::ps((bytes as f64 * 1e12 / gbps).round() as u64)
+}
+
+fn jitter() -> SimTime {
+    SimTime::ns((BASE as f32 * 1.25) as u64)
+}

@@ -1,0 +1,10 @@
+// detlint fixture (R4 suppressed): the same constructions, justified.
+
+fn transfer_time(bytes: u64, gbps: f64) -> SimTime {
+    // detlint::allow(float-sim-time): legacy formula, digests pinned
+    SimTime::ps((bytes as f64 * 1e12 / gbps).round() as u64)
+}
+
+fn jitter() -> SimTime {
+    SimTime::ns((BASE as f32 * 1.25) as u64) // detlint::allow(float-sim-time): ditto
+}

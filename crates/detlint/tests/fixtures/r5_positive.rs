@@ -1,0 +1,11 @@
+// detlint fixture (R5 positive): allows that suppress nothing.
+
+// detlint::allow(no-std-hasher): stale — the import below was migrated
+use bluedbm_sim::fxhash::FxHashMap;
+
+fn build() -> FxHashMap<u32, u32> {
+    FxHashMap::default() // detlint::allow(no-wallclock): wrong rule for this line
+}
+
+// detlint::allow(not-a-rule): unknown rule names are stale by definition
+fn noop() {}

@@ -1,0 +1,10 @@
+// detlint fixture (R5 suppressed): a deliberately-stale allow kept via
+// a stacked allow(stale-allow) guard on the line above it.
+
+// detlint::allow(stale-allow): kept to document the migration history
+// detlint::allow(no-std-hasher): stale on purpose — import migrated
+use bluedbm_sim::fxhash::FxHashMap;
+
+fn build() -> FxHashMap<u32, u32> {
+    FxHashMap::default()
+}

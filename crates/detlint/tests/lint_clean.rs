@@ -1,0 +1,32 @@
+//! The workspace itself must lint clean: `cargo test` gates the same
+//! property CI's `detlint` job checks, so a determinism hazard cannot
+//! land through either door.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    // crates/detlint -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    assert!(root.join("Cargo.toml").is_file(), "bad root {}", root.display());
+    let report = bluedbm_detlint::lint_tree(&root).expect("walk workspace");
+    assert!(
+        report.files_scanned > 20,
+        "walk looks truncated: {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace must lint clean; findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

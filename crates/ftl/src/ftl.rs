@@ -480,7 +480,7 @@ mod tests {
         for lba in 0..n {
             ftl.write(lba, &page(&ftl, lba)).unwrap();
         }
-        let mut seen: std::collections::HashSet<(u16, u16)> = Default::default();
+        let mut seen: bluedbm_sim::fxhash::FxHashSet<(u16, u16)> = Default::default();
         for lba in 0..n {
             let ppa = ftl.physical_of(lba).unwrap();
             seen.insert((ppa.bus, ppa.chip));

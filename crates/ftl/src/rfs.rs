@@ -12,7 +12,9 @@
 //! processors can directly read data from flash with very low latency"
 //! (Figure 8).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use bluedbm_sim::fxhash::FxHashMap;
 
 use bluedbm_flash::array::FlashArray;
 use bluedbm_flash::geometry::Ppa;
@@ -80,9 +82,9 @@ struct Plane {
 pub struct Rfs {
     array: FlashArray,
     config: RfsConfig,
-    files: HashMap<String, Inode>,
+    files: FxHashMap<String, Inode>,
     /// Linear page -> (file, page index) for cleaner relocation.
-    owner: HashMap<usize, (String, u32)>,
+    owner: FxHashMap<usize, (String, u32)>,
     valid: Vec<u32>,
     planes: Vec<Plane>,
     next_plane: usize,
@@ -118,8 +120,8 @@ impl Rfs {
         }
         Ok(Rfs {
             valid: vec![0; geom.total_blocks()],
-            files: HashMap::new(),
-            owner: HashMap::new(),
+            files: FxHashMap::default(),
+            owner: FxHashMap::default(),
             planes,
             next_plane: 0,
             array,

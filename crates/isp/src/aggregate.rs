@@ -9,7 +9,7 @@
 //! number of groups is small compared to the number of records, which is
 //! exactly the group-by shape.
 
-use std::collections::HashMap;
+use bluedbm_sim::fxhash::FxHashMap;
 
 use crate::Accelerator;
 
@@ -78,7 +78,7 @@ pub struct AggregateEngine {
     key_offset: usize,
     value_offset: usize,
     op: AggregateOp,
-    groups: HashMap<u64, GroupState>,
+    groups: FxHashMap<u64, GroupState>,
     scanned: u64,
 }
 
@@ -105,7 +105,7 @@ impl AggregateEngine {
             key_offset,
             value_offset,
             op,
-            groups: HashMap::new(),
+            groups: FxHashMap::default(),
             scanned: 0,
         }
     }
@@ -239,7 +239,8 @@ mod tests {
         let rows: Vec<(u64, u64)> = (0..2000).map(|_| (rng.below(50), rng.next_u64() >> 32)).collect();
         let mut e = AggregateEngine::new(16, 0, 8, AggregateOp::Max);
         e.consume(0, &page_of(&rows));
-        let mut want: HashMap<u64, u64> = HashMap::new();
+        // detlint::allow(no-std-hasher): deliberately independent std oracle
+        let mut want: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         for &(k, v) in &rows {
             want.entry(k).and_modify(|m| *m = (*m).max(v)).or_insert(v);
         }

@@ -11,7 +11,7 @@
 //! table with probability `(1 - d/n)^bits_per_hash` — near-duplicates
 //! collide almost surely, random pairs almost never.
 
-use std::collections::HashMap;
+use bluedbm_sim::fxhash::{FxHashMap, FxHashSet};
 
 use bluedbm_sim::rng::Rng;
 
@@ -55,7 +55,7 @@ pub struct LshIndex {
     /// Per table: the sampled bit positions.
     samples: Vec<Vec<u32>>,
     /// Per table: bucket -> item ids.
-    tables: Vec<HashMap<u64, Vec<u64>>>,
+    tables: Vec<FxHashMap<u64, Vec<u64>>>,
     items: u64,
 }
 
@@ -83,7 +83,7 @@ impl LshIndex {
         LshIndex {
             item_bytes,
             samples,
-            tables: vec![HashMap::new(); params.tables],
+            tables: vec![FxHashMap::default(); params.tables],
             items: 0,
         }
     }
@@ -133,7 +133,7 @@ impl LshIndex {
     /// Panics if `query` is not exactly `item_bytes` long.
     pub fn candidates(&self, query: &[u8]) -> Vec<u64> {
         assert_eq!(query.len(), self.item_bytes, "query size mismatch");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut out = Vec::new();
         for t in 0..self.samples.len() {
             let bucket = self.bucket_of(t, query);

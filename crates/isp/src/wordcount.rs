@@ -10,7 +10,7 @@
 //! which is correct because BlueDBM streams a file's pages in order
 //! (the Flash Server's in-order interface).
 
-use std::collections::HashMap;
+use bluedbm_sim::fxhash::FxHashMap;
 
 use crate::Accelerator;
 
@@ -36,7 +36,7 @@ use crate::Accelerator;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct WordCountEngine {
-    counts: HashMap<Vec<u8>, u64>,
+    counts: FxHashMap<Vec<u8>, u64>,
     partial: Vec<u8>,
     scanned: u64,
 }

@@ -131,7 +131,7 @@ mod tests {
     fn endpoints_spread_across_parallel_lanes() {
         let topo = Topology::line(2, 4);
         let table = RoutingTable::compute(&topo);
-        let ports: std::collections::HashSet<PortId> = (0..8u16)
+        let ports: bluedbm_sim::fxhash::FxHashSet<PortId> = (0..8u16)
             .map(|e| table.next_port(NodeId(0), NodeId(1), e).unwrap())
             .collect();
         assert_eq!(ports.len(), 4, "4 lanes should all be used");
@@ -152,7 +152,7 @@ mod tests {
     fn different_endpoints_may_take_different_paths() {
         let topo = Topology::mesh2d(3, 3);
         let table = RoutingTable::compute(&topo);
-        let paths: std::collections::HashSet<Vec<NodeId>> = (0..8u16)
+        let paths: bluedbm_sim::fxhash::FxHashSet<Vec<NodeId>> = (0..8u16)
             .map(|e| table.path(&topo, NodeId(0), NodeId(8), e))
             .collect();
         assert!(paths.len() > 1, "equal-cost diversity should be exploited");

@@ -669,7 +669,7 @@ mod tests {
         for n in 0..20 {
             let id = NodeId::from(n);
             assert_eq!(t.free_ports(id), 0, "4 lanes each way fill 8 ports");
-            let neighbors: std::collections::HashSet<NodeId> =
+            let neighbors: bluedbm_sim::fxhash::FxHashSet<NodeId> =
                 t.neighbors(id).map(|(_, m)| m).collect();
             assert_eq!(neighbors.len(), 2);
         }
@@ -771,7 +771,7 @@ mod tests {
         }
         // Deterministic routing spreads endpoints across all 3 spines.
         let table = RoutingTable::compute(&t);
-        let spines_used: std::collections::HashSet<NodeId> = (0..8u16)
+        let spines_used: bluedbm_sim::fxhash::FxHashSet<NodeId> = (0..8u16)
             .map(|ep| {
                 let port = table.next_port(NodeId(3), NodeId(6), ep).unwrap();
                 t.peer(NodeId(3), port).unwrap().0

@@ -23,7 +23,7 @@
 //! the same discipline as page handles.
 
 use std::any::{Any, TypeId};
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 use std::marker::PhantomData;
 
@@ -227,7 +227,7 @@ impl<T: Send + 'static> AnyPool for Pool<T> {
 /// ```
 #[derive(Default)]
 pub struct PoolStore {
-    pools: HashMap<TypeId, Box<dyn AnyPool>>,
+    pools: FxHashMap<TypeId, Box<dyn AnyPool>>,
 }
 
 impl PoolStore {

@@ -898,7 +898,20 @@ fn run_cooperative<M: ShardMessage>(
             }
             arrivals.sort_by_key(|(src, p)| (p.at, p.sent_at, *src, p.seq));
             let sim = &mut sims[dst];
-            for (_, mut parcel) in arrivals.drain(..) {
+            for (src, mut parcel) in arrivals.drain(..) {
+                // The send site already asserts this (`Ctx::send`); keep
+                // a second line of defense at the merge so a future
+                // bypass of that path still can't deliver a parcel that
+                // breaks the window bound the fixed point relies on.
+                debug_assert!(
+                    parcel.at >= parcel.sent_at + lookaheads[src][dst],
+                    "lookahead violation at cooperative merge: shard {src} -> shard {dst} \
+                     parcel arrives at {:?} but was sent at {:?}, below the pair \
+                     lookahead {:?}",
+                    parcel.at,
+                    parcel.sent_at,
+                    lookaheads[src][dst],
+                );
                 parcel
                     .msg
                     .attach(parcel.detached, &mut sim.pages, &mut sim.pools);
@@ -1315,6 +1328,30 @@ mod tests {
             vec![HOP * 3, SimTime::ZERO],
         ];
         let mut sharded = ShardedSimulator::with_lookaheads(sim, vec![0, 1], 2, matrix);
+        sharded.schedule(SimTime::ZERO, b, TMsg::Val(0));
+        sharded.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn send_below_pair_lookahead_panics_cooperative() {
+        // Same violation as above, but with Cooperative rounds forced:
+        // the check must hold in both exec modes (send-site assert,
+        // backed by the merge-phase debug assertion that names the
+        // offending shard pair).
+        let mut sim = Simulator::new();
+        let sink = sim.reserve();
+        let b = sim.add_component(Burster {
+            sink,
+            shots: vec![(HOP * 2, 1)],
+        });
+        sim.install(sink, Sink { got: vec![] });
+        let matrix = vec![
+            vec![SimTime::ZERO, HOP],
+            vec![HOP * 3, SimTime::ZERO],
+        ];
+        let mut sharded = ShardedSimulator::with_lookaheads(sim, vec![0, 1], 2, matrix);
+        sharded.set_exec_mode(ExecMode::Cooperative);
         sharded.schedule(SimTime::ZERO, b, TMsg::Val(0));
         sharded.run();
     }

@@ -369,7 +369,7 @@ mod tests {
     #[test]
     fn load_covers_every_key_once() {
         let s = spec();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = bluedbm_sim::fxhash::FxHashSet::default();
         for req in s.load() {
             let KvRequest::Put { tenant, key, value } = req else {
                 panic!("load emits puts only");

@@ -104,7 +104,7 @@ mod tests {
         // The candidate lists of different queries should address very
         // different item sets — the paper's random-access pattern.
         let w = build(400, 128, 4, 9);
-        let sets: Vec<std::collections::HashSet<u64>> = w
+        let sets: Vec<bluedbm_sim::fxhash::FxHashSet<u64>> = w
             .queries
             .iter()
             .map(|(q, _)| w.index.candidates(q).into_iter().collect())

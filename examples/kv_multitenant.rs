@@ -25,7 +25,7 @@ fn run(spec: &KvWorkloadSpec, shards: usize) -> (KvRunSummary, u64, f64) {
     config.sim.shards = shards;
     let mut store = KvStore::new(Cluster::ring(NODES, &config).expect("cluster"));
 
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // detlint::allow(no-wallclock): reports wall time only
     let summary = run_requests(&mut store, spec.load().chain(spec.churn()), 8192);
     let wall = t0.elapsed().as_secs_f64();
 

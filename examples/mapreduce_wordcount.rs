@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example mapreduce_wordcount`
 
-use std::collections::HashMap;
+use bluedbm::sim::fxhash::FxHashMap;
 
 use bluedbm::core::{Cluster, NodeId, SystemConfig};
 use bluedbm::isp::wordcount::WordCountEngine;
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Map + combine on every node, at that node's flash bandwidth.
-    let mut merged: HashMap<String, u64> = HashMap::new();
+    let mut merged: FxHashMap<String, u64> = FxHashMap::default();
     let mut shuffle_bytes = 0usize;
     for (node, shard) in shard_addrs.iter().enumerate() {
         let mut engine = WordCountEngine::new();

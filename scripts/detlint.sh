@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Run the workspace determinism-and-hot-path lint pass (crates/detlint).
+# Usage: scripts/detlint.sh [--rule <id>]... [--list-rules] [ROOT]
+# Exits 0 on a clean tree, 1 on findings, 2 on usage/I-O error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -p bluedbm_detlint --release --quiet -- "$@"

@@ -12,6 +12,7 @@
 //!   progress (FIFO starvation-freedom at cluster level), with the
 //!   queue visible in the scheduler stats.
 
+// detlint::allow(no-std-hasher): oracle model independent of fxhash
 use std::collections::HashMap;
 
 use proptest::prelude::*;
@@ -58,8 +59,10 @@ fn check_schedule(steps: Vec<(u8, u8, u16)>, chunk: usize) {
     let mut s = store(NODES);
     let page_bytes = s.cluster().config().flash.geometry.page_bytes;
 
+    // detlint::allow(no-std-hasher): oracle model independent of fxhash
     let mut oracle: HashMap<u8, Vec<u8>> = HashMap::new();
     // op id -> expected (kind, found, value).
+    // detlint::allow(no-std-hasher): ditto
     let mut expected: HashMap<u64, (KvOpKind, bool, Option<Vec<u8>>)> = HashMap::new();
     let mut completions = Vec::new();
     let mut pending = 0usize;

@@ -258,6 +258,7 @@ proptest! {
             FlashArray::new(FlashGeometry::tiny(), 23),
             RfsConfig::default(),
         ).expect("format");
+        // detlint::allow(no-std-hasher): oracle model independent of fxhash
         let mut model: std::collections::HashMap<String, Vec<u8>> = Default::default();
         let names = ["a", "b", "c", "d"];
         for (op, which, data) in ops {
@@ -313,6 +314,7 @@ proptest! {
         ).expect("ftl");
         let cap = ftl.capacity_pages().min(64);
         let page_bytes = ftl.page_bytes();
+        // detlint::allow(no-std-hasher): oracle model independent of fxhash
         let mut model: std::collections::HashMap<u64, u8> = Default::default();
         for (op, lba, fill) in ops {
             let lba = lba % cap;
