@@ -18,7 +18,7 @@ use bluedbm_host::pcie::PcieLink;
 use bluedbm_net::router::{build_network, Router, RouterStats};
 use bluedbm_net::topology::{NodeId, PortId, Topology};
 use bluedbm_sim::engine::{Component, ComponentId, Simulator};
-use bluedbm_sim::shard::ShardedSimulator;
+use bluedbm_sim::shard::{ExecMode, ShardStats, ShardedSimulator};
 use bluedbm_sim::time::SimTime;
 use bluedbm_sim::PageRef;
 
@@ -355,7 +355,10 @@ impl Cluster {
                     s == r || l >= cross_shard_lookahead(&topo, partition, config.net.hop_latency)
                 })
             }));
-            Engine::Sharded(ShardedSimulator::with_lookaheads(sim, owner, shards, lookaheads))
+            let mut sharded =
+                ShardedSimulator::with_lookaheads(sim, owner, shards, lookaheads);
+            sharded.set_exec_mode(config.sim.exec);
+            Engine::Sharded(sharded)
         };
         Ok(Cluster {
             engine,
@@ -461,6 +464,37 @@ impl Cluster {
         match &self.engine {
             Engine::Seq(_) => None,
             Engine::Sharded(sim) => Some(sim.sync_rounds()),
+        }
+    }
+
+    /// The sharded engine's execution mode (`None` on the sequential
+    /// engine).
+    pub fn exec_mode(&self) -> Option<ExecMode> {
+        match &self.engine {
+            Engine::Seq(_) => None,
+            Engine::Sharded(sim) => Some(sim.exec_mode()),
+        }
+    }
+
+    /// Synchronization and speculation statistics of the sharded engine
+    /// (`None` on the sequential engine): sync rounds plus, per shard,
+    /// committed / rolled-back speculative event counts, the adaptive
+    /// window, and park/spin waits. All zeros outside
+    /// [`ExecMode::Optimistic`] except the wait counters.
+    pub fn shard_stats(&self) -> Option<ShardStats> {
+        match &self.engine {
+            Engine::Seq(_) => None,
+            Engine::Sharded(sim) => Some(sim.shard_stats()),
+        }
+    }
+
+    /// Pin every shard's speculation window to `w` (no-op on the
+    /// sequential engine). `SimTime::ZERO` disables speculation, making
+    /// [`ExecMode::Optimistic`] execute exactly like conservative
+    /// threads; the window self-tunes from whatever is set here.
+    pub fn set_speculation_window(&mut self, w: SimTime) {
+        if let Engine::Sharded(sim) = &mut self.engine {
+            sim.set_speculation_window(w);
         }
     }
 

@@ -8,6 +8,7 @@
 use bluedbm_flash::{FlashGeometry, FlashTiming};
 use bluedbm_host::PcieParams;
 use bluedbm_net::NetParams;
+use bluedbm_sim::shard::ExecMode;
 use bluedbm_sim::time::{Bandwidth, SimTime};
 
 use crate::power::PowerModel;
@@ -150,17 +151,36 @@ pub struct SimConfig {
     /// latency. Sharded runs are deterministic and observably identical
     /// to sequential runs — see `bluedbm_sim::shard`.
     pub shards: usize,
+    /// How the sharded engine's workers execute (ignored when
+    /// `shards == 1`): conservative threads, cooperative single-thread,
+    /// or bounded-window optimistic speculation. See
+    /// `bluedbm_sim::shard::ExecMode`.
+    pub exec: ExecMode,
 }
 
 impl SimConfig {
     /// The sequential engine.
     pub fn sequential() -> Self {
-        SimConfig { shards: 1 }
+        SimConfig {
+            shards: 1,
+            exec: ExecMode::Auto,
+        }
     }
 
     /// `n` worker shards.
     pub fn sharded(n: usize) -> Self {
-        SimConfig { shards: n.max(1) }
+        SimConfig {
+            shards: n.max(1),
+            exec: ExecMode::Auto,
+        }
+    }
+
+    /// `n` worker shards on the optimistic speculative runtime.
+    pub fn optimistic(n: usize) -> Self {
+        SimConfig {
+            shards: n.max(1),
+            exec: ExecMode::Optimistic,
+        }
     }
 }
 

@@ -62,4 +62,4 @@ pub use scheduler::{AccelSched, AcceleratorScheduler, SchedStats};
 // Re-export the node id type used throughout the public API, and the
 // page-store types payload-bearing drivers stage data through.
 pub use bluedbm_net::topology::NodeId;
-pub use bluedbm_sim::{PageRef, PageStore};
+pub use bluedbm_sim::{ExecMode, PageRef, PageStore, ShardLaneStats, ShardStats};

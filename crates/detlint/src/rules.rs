@@ -174,10 +174,13 @@ fn std_hasher_finding(line: u32, name: &str) -> RawFinding {
 
 /// Sites where `no-wallclock` idents are part of the engine's own
 /// contract and deliberately permitted without a per-site allow:
-/// the `ExecMode::Auto` oversubscription probe. Each entry is
+/// the `ExecMode::Auto` oversubscription probe and the worker-core
+/// pinning module's core-count probe. Each entry is
 /// (path suffix, identifier).
-const WALLCLOCK_ALLOWLIST: [(&str, &str); 1] =
-    [("crates/sim/src/shard.rs", "available_parallelism")];
+const WALLCLOCK_ALLOWLIST: [(&str, &str); 2] = [
+    ("crates/sim/src/shard.rs", "available_parallelism"),
+    ("crates/sim/src/affinity.rs", "available_parallelism"),
+];
 
 /// R2: wall-clock and host-entropy reads.
 fn no_wallclock(path_label: &str, tokens: &[Token], out: &mut Vec<RawFinding>) {

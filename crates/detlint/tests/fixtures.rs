@@ -50,6 +50,42 @@ fn r2_no_wallclock() {
     assert_eq!(lint_fixture("r2_suppressed.rs"), vec![]);
 }
 
+/// Lint one fixture under an arbitrary path label (the path-suffix
+/// allowlists key on the label, not the on-disk location).
+fn lint_fixture_as(label: &str, name: &str) -> Vec<(u32, &'static str)> {
+    let path = fixtures_dir().join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    lint_source(label, &src)
+        .into_iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+#[test]
+fn r2_wallclock_path_allowlist() {
+    // The engine's own probe sites (`ExecMode::Auto`, worker pinning)
+    // are allowlisted by path suffix: the identical source fires under
+    // an ordinary label and lints clean under the allowlisted one.
+    assert_eq!(
+        lint_fixture("r2_allowlist_positive.rs"),
+        vec![(7, "no-wallclock")]
+    );
+    assert_eq!(
+        lint_fixture_as("crates/sim/src/affinity.rs", "r2_allowlist_positive.rs"),
+        vec![]
+    );
+    // A per-site allow composes the other way: consumed under an
+    // ordinary label, *stale* under the allowlisted label (the finding
+    // it would suppress never exists there) — so allowlisted paths
+    // cannot accumulate rotting allow comments.
+    assert_eq!(lint_fixture("r2_allowlist_suppressed.rs"), vec![]);
+    assert_eq!(
+        lint_fixture_as("crates/sim/src/affinity.rs", "r2_allowlist_suppressed.rs"),
+        vec![(9, "stale-allow")]
+    );
+}
+
 #[test]
 fn r3_map_iteration_order_leak() {
     assert_eq!(
@@ -86,7 +122,7 @@ fn r5_stale_allow() {
 #[test]
 fn tree_walk_over_fixtures_reports_positives() {
     let report = lint_tree(&fixtures_dir()).expect("walk fixtures");
-    assert_eq!(report.files_scanned, 10);
+    assert_eq!(report.files_scanned, 12);
     let positives: Vec<&str> = report
         .findings
         .iter()

@@ -1,0 +1,8 @@
+// detlint fixture (R2 path allowlist, positive): a bare core-count
+// probe. Under an ordinary path label this is a no-wallclock finding;
+// linted under the allowlisted `crates/sim/src/affinity.rs` label the
+// identical source is clean (the engine's own pinning probe).
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}

@@ -1,0 +1,11 @@
+// detlint fixture (R2 path allowlist, suppressed): the same probe
+// with a per-site allow. Under an ordinary path label the allow is
+// consumed and the file is clean; under the allowlisted
+// `crates/sim/src/affinity.rs` label the finding never exists, so the
+// very same allow is stale — the path allowlist and per-site allows
+// must not be stacked.
+
+fn cores() -> usize {
+    // detlint::allow(no-wallclock): capacity probe, not behavior
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}

@@ -123,6 +123,7 @@
 //! assert_eq!(sim.now(), SimTime::us(10)); // last ping's pong
 //! ```
 
+pub mod affinity;
 mod arena;
 pub mod engine;
 pub mod fxhash;
@@ -139,6 +140,6 @@ pub use pagestore::{PageRef, PageStore};
 pub use pool::{Pool, PoolRef, PoolStore};
 pub use resource::{MultiResource, SerialResource};
 pub use rng::Rng;
-pub use shard::{ExecMode, PlainMessage, ShardMessage, ShardedSimulator};
+pub use shard::{ExecMode, PlainMessage, ShardLaneStats, ShardMessage, ShardStats, ShardedSimulator};
 pub use stats::{Counter, Histogram, MeanTracker, Throughput};
 pub use time::{Bandwidth, SimTime};

@@ -78,6 +78,57 @@
 //! same computation, so threaded and cooperative runs are bit-for-bit
 //! identical and the suite pins that.
 //!
+//! ## Optimistic speculation ([`ExecMode::Optimistic`])
+//!
+//! The conservative rounds leave one latency on the table: between
+//! mailing its exchange and receiving the peers' answers, a worker
+//! sits in the spin/park window doing nothing. [`ExecMode::Optimistic`]
+//! fills exactly that gap with **bounded-window speculation** in the
+//! Breathing-Time-Buckets style:
+//!
+//! 1. at the bottom of every round the worker *stages* its next
+//!    exchange — outbound parcels, queue frontier, per-destination
+//!    minima — from fully committed state: bit-for-bit what the
+//!    conservative worker would send;
+//! 2. after mailing the staged exchange (and before receiving), it
+//!    checkpoints its local state — event queues, touched components
+//!    (via [`Component::snapshot`]), page and pool store segments —
+//!    and speculatively executes local events up to
+//!    `horizon = bound + W`, where `bound` is the previous round's
+//!    safe bound and `W` the shard's current speculation window.
+//!    Cross-shard sends produced under speculation are **buffered** in
+//!    the (just-drained, therefore empty) outboxes and never mailed,
+//!    so nothing speculative escapes the shard — which is the whole
+//!    reason **no anti-messages can ever be needed**: a mis-speculation
+//!    is undone entirely locally;
+//! 3. at the exchange barrier the worker computes the true post-merge
+//!    bound exactly as the conservative rounds do. If the speculated
+//!    horizon is at or below that bound *and* no incoming arrival
+//!    lands below the horizon, the speculation is exactly the
+//!    execution a conservative round would have performed, so it
+//!    **commits**: the arrival merge splices at sequence numbers
+//!    reserved by the checkpoint (preserving the merge-before-window
+//!    tie order), and the buffered sends ride the next staged exchange
+//!    in the usual deterministic `(arrival, send time, source shard,
+//!    source seq)` order. Otherwise every speculative effect **rolls
+//!    back** — queues, components, stores, buffered sends — and the
+//!    window re-executes conservatively.
+//!
+//! Because the staged exchange is always computed from committed
+//! state, every round's exchange is identical to the conservative
+//! protocol's, so round counts, bounds and merge orders agree across
+//! all modes and committed results stay bit-identical — speculation
+//! only moves work into the otherwise-idle barrier gap. `W` self-tunes
+//! per shard (multiplicative decrease on a rollback, additive increase
+//! on a fully committed window);
+//! [`ShardedSimulator::set_speculation_window`] pins it, and `W = 0`
+//! degenerates to the conservative protocol. Commit/rollback tallies
+//! and the live windows are reported by
+//! [`ShardedSimulator::shard_stats`]. The explicitly threaded modes
+//! ([`ExecMode::Threads`], [`ExecMode::Optimistic`]) additionally pin
+//! each worker to its own core on Linux ([`crate::affinity`]) so the
+//! per-round spin windows keep their cache affinity.
+//!
 //! ## Determinism and observational equivalence
 //!
 //! Within a shard, events keep the sequential engine's total `(time,
@@ -125,9 +176,12 @@
 
 use std::any::Any;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::affinity;
 
 use crate::engine::{Component, ComponentId, Message, Outbound, ShardEnv, Simulator, UNOWNED};
 use crate::pagestore::PageStore;
@@ -204,6 +258,50 @@ pub enum ExecMode {
     /// Always run the window protocol cooperatively on the calling
     /// thread: the same rounds, with plain vectors for mailboxes.
     Cooperative,
+    /// One worker thread per shard, speculating into the exchange gap:
+    /// each round a worker checkpoints its local state, optimistically
+    /// executes up to `W` past the previous safe bound while its
+    /// mailboxes are in flight, then commits or rolls back at the
+    /// barrier (see the module docs). Committed results are
+    /// bit-identical to every other mode — only wall-clock changes.
+    /// Requires every speculated component to support
+    /// [`Component::snapshot`] and the message type to be [`Clone`].
+    /// Never chosen by [`Auto`](ExecMode::Auto).
+    Optimistic,
+}
+
+/// Per-shard execution statistics, accumulated across
+/// [`ShardedSimulator::run`] calls and reported by
+/// [`ShardedSimulator::shard_stats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardLaneStats {
+    /// Speculatively executed events that survived their barrier check
+    /// ([`ExecMode::Optimistic`] only).
+    pub committed_events: u64,
+    /// Speculatively executed events undone by a rollback.
+    pub rolled_back_events: u64,
+    /// Speculative windows rolled back at the barrier.
+    pub rollbacks: u64,
+    /// The shard's current speculation window `W` — self-tuned unless
+    /// pinned by [`ShardedSimulator::set_speculation_window`].
+    pub window: SimTime,
+    /// Exchange receives satisfied inside the spin window (threaded
+    /// modes).
+    pub spins: u64,
+    /// Exchange receives that fell through to a blocking park.
+    pub parks: u64,
+}
+
+/// Aggregate protocol statistics from
+/// [`ShardedSimulator::shard_stats`]: the cumulative sync-round count
+/// plus one [`ShardLaneStats`] per shard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Synchronization rounds executed — identical on every worker by
+    /// construction.
+    pub sync_rounds: u64,
+    /// Per-shard statistics, in shard order.
+    pub shards: Vec<ShardLaneStats>,
 }
 
 /// One round's traffic from one shard to one other shard.
@@ -247,8 +345,18 @@ pub struct ShardedSimulator<M: ShardMessage> {
     /// Cumulative synchronization rounds across all [`run`](Self::run)
     /// calls — every worker executes the identical round count, so this
     /// is the protocol-overhead denominator (each round is one
-    /// all-to-all exchange plus a window execution).
-    sync_rounds: u64,
+    /// all-to-all exchange plus a window execution). Atomic so workers
+    /// publish each round and the count is well-defined mid-run.
+    sync_rounds: AtomicU64,
+    /// Per-shard delivery counters published once per round by the
+    /// workers, so [`events_delivered`](Self::events_delivered) stays
+    /// well-defined while the shard simulators are out on their worker
+    /// threads.
+    delivered_live: Vec<AtomicU64>,
+    /// Per-shard statistics (speculation tallies, live windows,
+    /// spin/park counts), moved onto the workers for a run and
+    /// reassembled after it.
+    lanes: Vec<ShardLaneStats>,
     /// Where [`run`](Self::run) executes the rounds (never changes what
     /// they compute).
     exec: ExecMode,
@@ -368,13 +476,21 @@ impl<M: ShardMessage> ShardedSimulator<M> {
                 debug_assert_eq!(slot, idx, "shard arenas must stay index-aligned");
             }
         }
+        // Speculation starts at a few conservative windows: enough to
+        // hide the barrier gap, small enough that an early rollback is
+        // cheap. Self-tuning takes it from here.
+        let window = min_lookahead * 4;
         ShardedSimulator {
             shards: parts,
             owner,
             lookaheads,
             min_lookahead,
             base_delivered,
-            sync_rounds: 0,
+            sync_rounds: AtomicU64::new(0),
+            delivered_live: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            lanes: (0..shards)
+                .map(|_| ShardLaneStats { window, ..ShardLaneStats::default() })
+                .collect(),
             exec: ExecMode::default(),
         }
     }
@@ -435,17 +551,59 @@ impl<M: ShardMessage> ShardedSimulator<M> {
     }
 
     /// Total events delivered across all shards (plus any delivered
-    /// before the split).
+    /// before the split). Well-defined at any point in any exec mode:
+    /// while a threaded run has the shard simulators out on their
+    /// worker threads, this reads the per-round counters the workers
+    /// publish, so the value is always a consistent
+    /// committed-through-some-round total (speculative work is never
+    /// visible here).
     pub fn events_delivered(&self) -> u64 {
+        if self.shards.is_empty() {
+            // Mid-threaded-run: the simulators are on the workers.
+            let live: u64 = self
+                .delivered_live
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .sum();
+            return self.base_delivered + live;
+        }
         self.base_delivered + self.shards.iter().map(|s| s.events_delivered()).sum::<u64>()
     }
 
     /// Cumulative synchronization rounds executed by
     /// [`run`](Self::run): one all-to-all mailbox/horizon exchange per
-    /// round, identical on every worker. Divide into wall time to see
-    /// what the conservative protocol itself costs.
+    /// round, identical on every worker and across every [`ExecMode`]
+    /// (the optimistic rounds stage their exchanges from committed
+    /// state, so they count the same rounds the conservative protocol
+    /// would). Published once per round, so the value is well-defined
+    /// mid-run. Divide into wall time to see what the window protocol
+    /// itself costs.
     pub fn sync_rounds(&self) -> u64 {
-        self.sync_rounds
+        self.sync_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard execution statistics — speculative events committed
+    /// and rolled back, rollback counts, the live speculation windows,
+    /// spin/park tallies — plus the cumulative sync-round count.
+    /// Counters accumulate across [`run`](Self::run) calls.
+    pub fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            sync_rounds: self.sync_rounds(),
+            shards: self.lanes.clone(),
+        }
+    }
+
+    /// Pin every shard's speculation window to `w` (used by
+    /// [`ExecMode::Optimistic`]; the other modes never speculate).
+    /// Self-tuning resumes from the pinned value on the next rollback
+    /// or committed window. `W = 0` disables speculation outright —
+    /// the optimistic rounds degenerate to the conservative protocol
+    /// (and a zero window is never raised, because tuning only runs
+    /// after a speculative round).
+    pub fn set_speculation_window(&mut self, w: SimTime) {
+        for lane in &mut self.lanes {
+            lane.window = w;
+        }
     }
 
     /// Events currently pending across all shards.
@@ -527,17 +685,27 @@ impl<M: ShardMessage> ShardedSimulator<M> {
         self.shards[shard].push_arrival(at, to, msg.into());
     }
 
-    /// Run to global quiescence: spawn one worker per shard on scoped
-    /// threads and execute the conservative window protocol until no
-    /// shard knows of any pending event.
+}
+
+impl<M: ShardMessage + Clone> ShardedSimulator<M> {
+    /// Run to global quiescence: execute the window protocol — on
+    /// worker threads, cooperatively, or with speculation, per the
+    /// [`ExecMode`] — until no shard knows of any pending event. The
+    /// explicitly threaded modes ([`ExecMode::Threads`],
+    /// [`ExecMode::Optimistic`]) pin each worker to its own core on
+    /// Linux; [`ExecMode::Auto`] leaves placement to the OS.
     ///
     /// # Panics
     ///
     /// Re-raises the first root-cause panic of any shard worker
-    /// (component panics, lookahead violations, stale handles).
+    /// (component panics, lookahead violations, stale handles, missing
+    /// [`Component::snapshot`] support under
+    /// [`ExecMode::Optimistic`]).
     pub fn run(&mut self) {
         let n = self.shards.len();
         if n == 1 {
+            // One shard is the sequential engine; there is no barrier
+            // gap to speculate into.
             self.shards[0].run();
             return;
         }
@@ -547,15 +715,24 @@ impl<M: ShardMessage> ShardedSimulator<M> {
         let cores_per_shard =
             std::thread::available_parallelism().is_ok_and(|p| p.get() >= n);
         let threads = match self.exec {
-            ExecMode::Threads => true,
+            ExecMode::Threads | ExecMode::Optimistic => true,
             ExecMode::Cooperative => false,
             ExecMode::Auto => cores_per_shard,
         };
         if !threads {
-            let rounds = run_cooperative(&mut self.shards, &self.lookaheads);
-            self.sync_rounds += rounds;
+            run_cooperative(
+                &mut self.shards,
+                &self.lookaheads,
+                &self.sync_rounds,
+                &self.delivered_live,
+            );
             return;
         }
+        let optimistic = self.exec == ExecMode::Optimistic;
+        // Only the explicitly threaded modes pin: Auto picked threads
+        // because the host happens to have the cores, not because the
+        // user asked for a fixed thread layout.
+        let pin = matches!(self.exec, ExecMode::Threads | ExecMode::Optimistic);
         // Per ordered pair (src, dst): one mailbox channel.
         let mut txs: Vec<Vec<Option<Sender<Exchange<M>>>>> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
@@ -572,39 +749,59 @@ impl<M: ShardMessage> ShardedSimulator<M> {
             }
         }
         let sims: Vec<Simulator<M>> = self.shards.drain(..).collect();
+        let lanes: Vec<ShardLaneStats> = std::mem::take(&mut self.lanes);
         let lookaheads = &self.lookaheads;
+        let min_lookahead = self.min_lookahead;
         let spin = cores_per_shard;
+        let rounds_base = self.sync_rounds.load(Ordering::Relaxed);
+        let rounds_ctr = &self.sync_rounds;
+        let delivered_live = &self.delivered_live;
         let result = crossbeam::scope(|scope| {
             let handles: Vec<_> = sims
                 .into_iter()
+                .zip(lanes)
                 .zip(txs.drain(..).zip(rxs.drain(..)))
                 .enumerate()
-                .map(|(me, (sim, (tx_row, rx_row)))| {
+                .map(|(me, ((sim, lane), (tx_row, rx_row)))| {
                     let lookaheads = Arc::clone(lookaheads);
-                    scope.spawn(move |_| worker(me, sim, tx_row, rx_row, lookaheads, spin))
+                    let cfg = WorkerCfg {
+                        me,
+                        spin,
+                        optimistic,
+                        pin,
+                        min_lookahead,
+                        rounds_base,
+                    };
+                    let shared = SharedCounters {
+                        rounds: rounds_ctr,
+                        delivered: &delivered_live[me],
+                    };
+                    scope.spawn(move |_| {
+                        worker(cfg, shared, sim, lane, tx_row, rx_row, lookaheads)
+                    })
                 })
                 .collect();
             let mut shards = Vec::with_capacity(n);
-            let mut rounds = 0u64;
+            let mut lanes = Vec::with_capacity(n);
             let mut panics = Vec::new();
             for handle in handles {
                 match handle.join() {
-                    Ok((sim, r)) => {
+                    Ok((sim, lane)) => {
                         shards.push(sim);
-                        rounds = rounds.max(r);
+                        lanes.push(lane);
                     }
                     Err(payload) => panics.push(payload),
                 }
             }
-            (shards, rounds, panics)
+            (shards, lanes, panics)
         });
         match result {
-            Ok((shards, rounds, panics)) => {
+            Ok((shards, lanes, panics)) => {
                 if let Some(payload) = pick_root_cause(panics) {
                     std::panic::resume_unwind(payload);
                 }
                 self.shards = shards;
-                self.sync_rounds += rounds;
+                self.lanes = lanes;
             }
             Err(payload) => std::panic::resume_unwind(payload),
         }
@@ -652,12 +849,16 @@ fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
 fn recv_spin<M: ShardMessage>(
     rx: &Receiver<Exchange<M>>,
     spin: bool,
+    lane: &mut ShardLaneStats,
 ) -> Result<Exchange<M>, ()> {
     use crossbeam::channel::TryRecvError;
     if spin {
         for probe in 0..40u32 {
             match rx.try_recv() {
-                Ok(exchange) => return Ok(exchange),
+                Ok(exchange) => {
+                    lane.spins += 1;
+                    return Ok(exchange);
+                }
                 Err(TryRecvError::Disconnected) => return Err(()),
                 Err(TryRecvError::Empty) => {
                     if probe < 32 {
@@ -669,22 +870,116 @@ fn recv_spin<M: ShardMessage>(
             }
         }
     }
+    lane.parks += 1;
     rx.recv().map_err(|_| ())
+}
+
+/// Per-worker configuration, fixed for the whole run.
+struct WorkerCfg {
+    me: usize,
+    spin: bool,
+    optimistic: bool,
+    pin: bool,
+    min_lookahead: SimTime,
+    rounds_base: u64,
+}
+
+/// Counters a worker publishes once per round so the façade's
+/// [`ShardedSimulator::sync_rounds`] and
+/// [`ShardedSimulator::events_delivered`] stay well-defined mid-run.
+#[derive(Clone, Copy)]
+struct SharedCounters<'a> {
+    rounds: &'a AtomicU64,
+    delivered: &'a AtomicU64,
+}
+
+/// One in-flight speculative window: the horizon it executed to, the
+/// sequence floor its checkpoint reserved (where a committing merge
+/// splices the arrivals), and the delivery count at the checkpoint
+/// (for the commit/rollback tallies).
+struct SpecWindow {
+    horizon: SimTime,
+    chk_seq: u64,
+    base_delivered: u64,
+}
+
+/// Additive increase after a fully committed window: half a lookahead
+/// more speculation, capped at 32 lookaheads so a quiet phase cannot
+/// inflate the window (and the eventual rollback cost) without bound.
+fn window_grow(w: SimTime, min_lookahead: SimTime) -> SimTime {
+    (w + min_lookahead / 2).min(min_lookahead * 32)
+}
+
+/// Multiplicative decrease after a rollback: halve, floored at a
+/// quarter lookahead so the window can climb back once the straggler
+/// phase passes.
+fn window_shrink(w: SimTime, min_lookahead: SimTime) -> SimTime {
+    (w / 2).max(min_lookahead / 4)
+}
+
+/// Drain the shard's outboxes into per-destination parcel batches and
+/// capture the exchange frontier data (queue frontier, per-destination
+/// minima). Always called on fully committed state — at the bottom of a
+/// round, after commit/rollback has resolved — which is what keeps an
+/// optimistic round's exchange bit-identical to a conservative one's.
+fn stage_exchange<M: ShardMessage>(
+    sim: &mut Simulator<M>,
+    me: usize,
+    outgoing: &mut [Vec<Parcel<M>>],
+) -> (Option<SimTime>, Arc<Vec<Option<SimTime>>>) {
+    let n = outgoing.len();
+    let mut out_mins: Vec<Option<SimTime>> = vec![None; n];
+    for (dst, batch) in outgoing.iter_mut().enumerate() {
+        if dst == me {
+            continue;
+        }
+        let env = sim.shard_env.as_mut().expect("shard env installed");
+        let mut raw: Vec<Outbound<M>> = std::mem::take(&mut env.outboxes[dst]);
+        for mut out in raw.drain(..) {
+            out_mins[dst] = min_opt(out_mins[dst], Some(out.at));
+            let detached = out.msg.detach(&mut sim.pages, &mut sim.pools);
+            batch.push(Parcel {
+                at: out.at,
+                sent_at: out.sent_at,
+                seq: out.seq,
+                to: out.to,
+                msg: out.msg,
+                detached,
+            });
+        }
+        sim.shard_env.as_mut().expect("shard env installed").outboxes[dst] = raw;
+    }
+    (sim.queues.next_at(), Arc::new(out_mins))
 }
 
 /// One shard's worker loop: exchange mailboxes + horizons with every
 /// peer, agree (identically, with no coordinator) on the next window,
-/// execute it, repeat until the global horizon is empty. Returns the
-/// shard simulator (so the façade can be reassembled) and the number of
-/// rounds executed — identical on every worker by construction.
-fn worker<M: ShardMessage>(
-    me: usize,
+/// execute it — optionally speculating into the exchange gap — and
+/// repeat until the global horizon is empty. Returns the shard
+/// simulator (so the façade can be reassembled) and the shard's
+/// accumulated statistics.
+///
+/// The exchange for each round is **staged** at the bottom of the
+/// previous round, from fully committed state, and only *mailed* at the
+/// top of the next — so a conservative round and an optimistic round
+/// put bit-identical data on the wire, and speculation lives entirely
+/// in the gap between the send and the matching receives (where a
+/// conservative worker would spin or park).
+fn worker<M: ShardMessage + Clone>(
+    cfg: WorkerCfg,
+    shared: SharedCounters<'_>,
     mut sim: Simulator<M>,
+    mut lane: ShardLaneStats,
     txs: Vec<Option<Sender<Exchange<M>>>>,
     rxs: Vec<Option<Receiver<Exchange<M>>>>,
     lookaheads: Arc<Vec<Arc<[SimTime]>>>,
-    spin: bool,
-) -> (Simulator<M>, u64) {
+) -> (Simulator<M>, ShardLaneStats) {
+    let WorkerCfg { me, spin, optimistic, pin, min_lookahead, rounds_base } = cfg;
+    if pin {
+        // Pure performance (cache affinity across the per-round spin
+        // windows); failure means "run unpinned", never an error.
+        let _ = affinity::pin_to_core(me);
+    }
     let n = txs.len();
     let mut rounds = 0u64;
     // Round-persistent merge and horizon buffers: allocated once, reused
@@ -697,73 +992,60 @@ fn worker<M: ShardMessage>(
     let mut horizons: Vec<Option<SimTime>> = vec![None; n];
     // `earliest[t]` is the fixed-point estimate `E_t` (see module doc).
     let mut earliest: Vec<Option<SimTime>> = vec![None; n];
+    // The previous round's safe bound: everything below it is committed,
+    // so it is where a speculative window may start.
+    let mut last_bound: Option<SimTime> = None;
+    // Stage round one's exchange (first-round outboxes are empty, but
+    // external injections sit in the queues and set the frontier).
+    let (mut staged_queue_next, mut staged_out_mins) =
+        stage_exchange(&mut sim, me, &mut outgoing);
     loop {
-        // Detach store payloads from this round's outbound mail (empty on
-        // the first round of a run) and note the earliest parcel time per
-        // destination. The outboxes are swapped out, drained and swapped
-        // back so their capacity survives the round.
-        let mut out_mins: Vec<Option<SimTime>> = vec![None; n];
-        for dst in 0..n {
-            if dst == me {
-                continue;
-            }
-            let env = sim.shard_env.as_mut().expect("shard env installed");
-            let mut raw: Vec<Outbound<M>> = std::mem::take(&mut env.outboxes[dst]);
-            for mut out in raw.drain(..) {
-                out_mins[dst] = min_opt(out_mins[dst], Some(out.at));
-                let detached = out.msg.detach(&mut sim.pages, &mut sim.pools);
-                outgoing[dst].push(Parcel {
-                    at: out.at,
-                    sent_at: out.sent_at,
-                    seq: out.seq,
-                    to: out.to,
-                    msg: out.msg,
-                    detached,
-                });
-            }
-            sim.shard_env.as_mut().expect("shard env installed").outboxes[dst] = raw;
-        }
-        // One shared copy of the per-destination minima for all peers
-        // (instead of one clone per peer).
-        let out_mins = Arc::new(out_mins);
-        let queue_next = sim.queues.next_at();
-        // All-to-all: mailboxes + frontiers out, then the same in. Sends
-        // never block (unbounded), so the exchange cannot deadlock.
+        // Mail the staged exchange. Sends never block (unbounded), so
+        // the all-to-all cannot deadlock; a send can only fail if the
+        // peer died, and the matching recv below turns that into the
+        // PEER_LOST panic.
         for dst in 0..n {
             if dst == me {
                 continue;
             }
             let parcels = std::mem::take(&mut outgoing[dst]);
-            // A send can only fail if the peer died; the matching recv
-            // below turns that into the PEER_LOST panic.
             let _ = txs[dst].as_ref().expect("channel to every peer").send(Exchange {
                 parcels,
-                queue_next,
-                out_mins: Arc::clone(&out_mins),
+                queue_next: staged_queue_next,
+                out_mins: Arc::clone(&staged_out_mins),
             });
         }
-        queue_nexts[me] = queue_next;
-        all_out_mins[me] = Some(out_mins);
+        queue_nexts[me] = staged_queue_next;
+        all_out_mins[me] = Some(Arc::clone(&staged_out_mins));
+        // Speculate into the barrier gap: the mail is in flight, the
+        // peers' answers have not arrived, and a conservative worker
+        // would idle. Checkpoint, then run local events up to `W` past
+        // the committed bound. Cross-shard sends buffer in the outboxes
+        // (drained when the exchange was staged, so currently empty) —
+        // nothing speculative is ever mailed, hence no anti-messages.
+        let mut spec: Option<SpecWindow> = None;
+        if optimistic && !lane.window.is_zero() {
+            if let Some(bound) = last_bound {
+                let horizon = bound + lane.window;
+                if staged_queue_next.is_some_and(|q| q < horizon) {
+                    let chk_seq = sim.checkpoint_begin();
+                    let base_delivered = sim.events_delivered();
+                    sim.run_before(horizon);
+                    spec = Some(SpecWindow { horizon, chk_seq, base_delivered });
+                }
+            }
+        }
+        // Receive every peer's exchange.
         for src in 0..n {
             if src == me {
                 continue;
             }
-            let exchange = recv_spin(rxs[src].as_ref().expect("channel from every peer"), spin)
-                .unwrap_or_else(|()| panic!("shard {me}: {PEER_LOST} (shard {src})"));
+            let exchange =
+                recv_spin(rxs[src].as_ref().expect("channel from every peer"), spin, &mut lane)
+                    .unwrap_or_else(|()| panic!("shard {me}: {PEER_LOST} (shard {src})"));
             queue_nexts[src] = exchange.queue_next;
             all_out_mins[src] = Some(exchange.out_mins);
             arrivals.extend(exchange.parcels.into_iter().map(|p| (src, p)));
-        }
-        // Deterministic merge: arrival instant, then send instant (the
-        // sequential engine's tiebreak — its sequence numbers increase
-        // with send time), then source shard, then the source's own send
-        // order.
-        arrivals.sort_by_key(|(src, p)| (p.at, p.sent_at, *src, p.seq));
-        for (_, mut parcel) in arrivals.drain(..) {
-            parcel
-                .msg
-                .attach(parcel.detached, &mut sim.pages, &mut sim.pools);
-            sim.push_arrival(parcel.at, parcel.to, parcel.msg);
         }
         // Every shard's exact *post-merge* horizon, computed identically
         // by every worker from the exchanged frontiers: its queue plus
@@ -784,9 +1066,14 @@ fn worker<M: ShardMessage>(
             all_empty &= horizons[t].is_none();
         }
         if all_empty {
-            return (sim, rounds);
+            // Unreachable with a live checkpoint: speculation requires a
+            // local frontier below the horizon, which makes our own
+            // post-merge horizon non-empty.
+            debug_assert!(spec.is_none(), "speculated into a globally empty horizon");
+            return (sim, lane);
         }
         rounds += 1;
+        shared.rounds.fetch_max(rounds_base + rounds, Ordering::Relaxed);
         // The Chandy–Misra–Bryant safe bound generalized to the per-pair
         // matrix. Nothing is in flight after the merge, so shard `t`'s
         // earliest possible next event is the least fixed point of
@@ -825,9 +1112,69 @@ fn worker<M: ShardMessage>(
             .filter(|&s| s != me)
             .filter_map(|s| earliest[s].map(|e| e + lookaheads[s][me]))
             .min();
+        // Deterministic merge order: arrival instant, then send instant
+        // (the sequential engine's tiebreak — its sequence numbers
+        // increase with send time), then source shard, then the
+        // source's own send order.
+        arrivals.sort_by_key(|(src, p)| (p.at, p.sent_at, *src, p.seq));
+        // Resolve the speculative window against the true bound.
+        if let Some(win) = spec.take() {
+            let straggler = arrivals.first().is_some_and(|(_, p)| p.at < win.horizon);
+            let safe = bound.is_some_and(|b| win.horizon <= b);
+            let delta = sim.events_delivered() - win.base_delivered;
+            if safe && !straggler {
+                // The window is exactly the execution a conservative
+                // round performs: everything below the horizon was safe
+                // and no arrival interleaves below it. Keep the work and
+                // splice the arrivals at the sequence numbers the
+                // checkpoint reserved — below every event speculation
+                // created, above every event that predates it — so ties
+                // order exactly as a conservative merge-then-run round.
+                sim.checkpoint_commit();
+                lane.committed_events += delta;
+                lane.window = window_grow(lane.window, min_lookahead);
+                for (i, (_, mut parcel)) in arrivals.drain(..).enumerate() {
+                    parcel
+                        .msg
+                        .attach(parcel.detached, &mut sim.pages, &mut sim.pools);
+                    sim.push_arrival_at_seq(
+                        parcel.at,
+                        parcel.to,
+                        parcel.msg,
+                        win.chk_seq + i as u64,
+                    );
+                }
+            } else {
+                // The bound stopped short of the horizon, or a straggler
+                // arrival lands inside it: undo everything. The buffered
+                // speculative sends are exactly the outbox contents, so
+                // clearing them is the entire anti-message story.
+                sim.checkpoint_rollback();
+                let env = sim.shard_env.as_mut().expect("shard env installed");
+                for outbox in env.outboxes.iter_mut() {
+                    outbox.clear();
+                }
+                lane.rolled_back_events += delta;
+                lane.rollbacks += 1;
+                lane.window = window_shrink(lane.window, min_lookahead);
+            }
+        }
+        // Arrivals not spliced by a commit merge the conservative way.
+        for (_, mut parcel) in arrivals.drain(..) {
+            parcel
+                .msg
+                .attach(parcel.detached, &mut sim.pages, &mut sim.pools);
+            sim.push_arrival(parcel.at, parcel.to, parcel.msg);
+        }
+        // Run (the rest of) the window conservatively.
         if let Some(bound) = bound {
             sim.run_before(bound);
         }
+        // Stage the next round's exchange from the now-committed state
+        // and publish the committed counters.
+        last_bound = bound;
+        (staged_queue_next, staged_out_mins) = stage_exchange(&mut sim, me, &mut outgoing);
+        shared.delivered.store(sim.events_delivered(), Ordering::Relaxed);
     }
 }
 
@@ -842,13 +1189,18 @@ fn worker<M: ShardMessage>(
 /// fewer cores than shards the threaded protocol cannot overlap any
 /// work, so its only marginal cost is the futex park/unpark context
 /// switch per worker per round — which this path removes entirely.
-/// Returns the number of rounds executed.
+///
+/// Rounds and per-shard deliveries are published to the façade's
+/// counters as they happen, exactly like the threaded workers, so
+/// `sync_rounds()` / `events_delivered()` have the same mid-run
+/// semantics in every mode.
 fn run_cooperative<M: ShardMessage>(
     sims: &mut [Simulator<M>],
     lookaheads: &[Arc<[SimTime]>],
-) -> u64 {
+    rounds_ctr: &AtomicU64,
+    delivered_live: &[AtomicU64],
+) {
     let n = sims.len();
-    let mut rounds = 0u64;
     // Same round-persistent buffers as the threaded worker, held once
     // for all shards: outgoing[src][dst] parcels, frontier tables,
     // merge staging, fixed-point estimates.
@@ -932,9 +1284,9 @@ fn run_cooperative<M: ShardMessage>(
             row.fill(None);
         }
         if all_empty {
-            return rounds;
+            return;
         }
-        rounds += 1;
+        rounds_ctr.fetch_add(1, Ordering::Relaxed);
         // The identical E_t fixed point (see the worker), then each
         // shard executes its window in turn.
         earliest.copy_from_slice(&horizons);
@@ -966,6 +1318,7 @@ fn run_cooperative<M: ShardMessage>(
             if let Some(bound) = bound {
                 sim.run_before(bound);
             }
+            delivered_live[me].store(sim.events_delivered(), Ordering::Relaxed);
         }
     }
 }
@@ -992,6 +1345,7 @@ mod tests {
 
     /// Test protocol: a counter bounce with a fixed latency, plus a
     /// page-carrying shape to exercise relocation.
+    #[derive(Clone)]
     enum TMsg {
         Val(u64),
         Page(PageRef),
@@ -1021,6 +1375,7 @@ mod tests {
 
     /// Bounces `Val(n)` to `peer` with `delay` until `n` hits zero,
     /// logging `(now, n)`.
+    #[derive(Clone)]
     struct Bouncer {
         peer: ComponentId,
         delay: SimTime,
@@ -1028,6 +1383,8 @@ mod tests {
     }
 
     impl Component<TMsg> for Bouncer {
+        crate::clone_snapshot!();
+
         fn handle(&mut self, ctx: &mut Ctx<'_, TMsg>, msg: TMsg) {
             let TMsg::Val(n) = msg else { panic!("Val expected") };
             self.log.push((ctx.now(), n));
@@ -1087,11 +1444,14 @@ mod tests {
     }
 
     /// Sink that records every `Val` in delivery order.
+    #[derive(Clone)]
     struct Sink {
         got: Vec<(SimTime, u64)>,
     }
 
     impl Component<TMsg> for Sink {
+        crate::clone_snapshot!();
+
         fn handle(&mut self, ctx: &mut Ctx<'_, TMsg>, msg: TMsg) {
             let TMsg::Val(n) = msg else { panic!("Val expected") };
             self.got.push((ctx.now(), n));
@@ -1100,12 +1460,15 @@ mod tests {
 
     /// Fires a burst of `Val`s at `sink` with per-message delays on
     /// arrival of a kick.
+    #[derive(Clone)]
     struct Burster {
         sink: ComponentId,
         shots: Vec<(SimTime, u64)>,
     }
 
     impl Component<TMsg> for Burster {
+        crate::clone_snapshot!();
+
         fn handle(&mut self, ctx: &mut Ctx<'_, TMsg>, _msg: TMsg) {
             for &(delay, v) in &self.shots {
                 ctx.send(self.sink, delay, TMsg::Val(v));
@@ -1157,11 +1520,14 @@ mod tests {
     fn zero_delay_self_loop_stays_in_shard() {
         // Zero-delay sends *within* a shard are legal under any
         // lookahead — only cross-shard messages owe the window bound.
+        #[derive(Clone)]
         struct SelfLoop {
             left: u64,
             done_to: ComponentId,
         }
         impl Component<TMsg> for SelfLoop {
+            crate::clone_snapshot!();
+
             fn handle(&mut self, ctx: &mut Ctx<'_, TMsg>, msg: TMsg) {
                 let TMsg::Val(n) = msg else { panic!("Val expected") };
                 if self.left > 0 {
@@ -1202,39 +1568,54 @@ mod tests {
     #[test]
     fn pages_relocate_across_shards() {
         /// Allocates a page in its own shard and mails the handle.
+        #[derive(Clone)]
         struct Producer {
             to: ComponentId,
         }
         impl Component<TMsg> for Producer {
+            crate::clone_snapshot!();
+
             fn handle(&mut self, ctx: &mut Ctx<'_, TMsg>, _msg: TMsg) {
                 let page = ctx.pages().alloc_from(b"cross-shard page payload");
                 ctx.send(self.to, HOP, TMsg::Page(page));
             }
         }
         /// Consumes the relocated page from its own shard's store.
+        #[derive(Clone)]
         struct Consumer {
             seen: Vec<Vec<u8>>,
         }
         impl Component<TMsg> for Consumer {
+            crate::clone_snapshot!();
+
             fn handle(&mut self, ctx: &mut Ctx<'_, TMsg>, msg: TMsg) {
                 let TMsg::Page(page) = msg else { panic!("Page expected") };
                 self.seen.push(ctx.pages().take(page));
             }
         }
-        let mut sim = Simulator::new();
-        let consumer = sim.reserve();
-        let producer = sim.add_component(Producer { to: consumer });
-        sim.install(consumer, Consumer { seen: vec![] });
-        let mut sharded = ShardedSimulator::from_simulator(sim, vec![0, 1], 2, HOP);
-        sharded.schedule(SimTime::ZERO, producer, TMsg::Val(0));
-        sharded.run();
-        assert_eq!(
-            sharded.component::<Consumer>(consumer).unwrap().seen,
-            vec![b"cross-shard page payload".to_vec()]
-        );
-        // The producing shard's segment was drained by detach, the
-        // consuming shard's by the consumer: globally quiescent.
-        sharded.assert_quiescent();
+        for exec in [
+            ExecMode::Auto,
+            ExecMode::Threads,
+            ExecMode::Cooperative,
+            ExecMode::Optimistic,
+        ] {
+            let mut sim = Simulator::new();
+            let consumer = sim.reserve();
+            let producer = sim.add_component(Producer { to: consumer });
+            sim.install(consumer, Consumer { seen: vec![] });
+            let mut sharded = ShardedSimulator::from_simulator(sim, vec![0, 1], 2, HOP);
+            sharded.set_exec_mode(exec);
+            sharded.schedule(SimTime::ZERO, producer, TMsg::Val(0));
+            sharded.run();
+            assert_eq!(
+                sharded.component::<Consumer>(consumer).unwrap().seen,
+                vec![b"cross-shard page payload".to_vec()],
+                "{exec:?}"
+            );
+            // The producing shard's segment was drained by detach, the
+            // consuming shard's by the consumer: globally quiescent.
+            sharded.assert_quiescent();
+        }
     }
 
     #[test]
@@ -1414,6 +1795,164 @@ mod tests {
         sharded.run();
         assert_eq!(sharded.events_delivered(), 26);
         sharded.assert_quiescent();
+    }
+
+    #[test]
+    fn optimistic_mode_is_bit_identical_to_every_other_mode() {
+        let run = |exec: ExecMode| {
+            let (sim, [a, b, c]) = triangle_world();
+            let la = |u: u64| HOP * u;
+            let matrix = vec![
+                vec![SimTime::ZERO, la(1), la(3)],
+                vec![la(6), SimTime::ZERO, la(4)],
+                vec![la(2), la(6), SimTime::ZERO],
+            ];
+            let mut sharded = ShardedSimulator::with_lookaheads(sim, vec![0, 1, 2], 3, matrix);
+            sharded.set_exec_mode(exec);
+            sharded.schedule(SimTime::ZERO, a, TMsg::Val(60));
+            sharded.run();
+            (
+                sharded.events_delivered(),
+                sharded.now(),
+                sharded.sync_rounds(),
+                [a, b, c].map(|id| sharded.component::<Bouncer>(id).unwrap().log.clone()),
+            )
+        };
+        let base = run(ExecMode::Cooperative);
+        assert_eq!(run(ExecMode::Threads), base);
+        // Speculation may commit or roll back round by round, but the
+        // committed results — logs with timestamps, totals, clock, even
+        // the round count — must be exactly the conservative ones.
+        assert_eq!(run(ExecMode::Optimistic), base);
+    }
+
+    #[test]
+    fn counters_agree_across_exec_modes_and_successive_runs() {
+        // `sync_rounds()` / `events_delivered()` are published per round
+        // in every mode, accumulate across run() calls, and agree across
+        // modes on the same workload.
+        let observe = |exec: ExecMode| {
+            let (sim, a, b) = bounce_world();
+            let mut sharded = ShardedSimulator::from_simulator(sim, vec![0, 1], 2, HOP);
+            sharded.set_exec_mode(exec);
+            sharded.schedule(SimTime::ZERO, a, TMsg::Val(30));
+            sharded.run();
+            let mid = (sharded.sync_rounds(), sharded.events_delivered());
+            sharded.schedule(SimTime::ZERO, b, TMsg::Val(11));
+            sharded.run();
+            let end = (sharded.sync_rounds(), sharded.events_delivered());
+            assert!(
+                end.0 > mid.0 && end.1 > mid.1,
+                "{exec:?}: counters must accumulate across runs ({mid:?} -> {end:?})"
+            );
+            (mid, end)
+        };
+        let base = observe(ExecMode::Cooperative);
+        assert_eq!(observe(ExecMode::Threads), base);
+        assert_eq!(observe(ExecMode::Optimistic), base);
+        assert_eq!(observe(ExecMode::Auto), base);
+    }
+
+    /// Counts down `left` local steps of `HOP / 4`, cycling a stashed
+    /// page through the store on every step — so a rollback must
+    /// restore component state *and* page slots in lockstep.
+    #[derive(Clone)]
+    struct Churner {
+        left: u64,
+        stash: Option<PageRef>,
+        log: Vec<(SimTime, u64)>,
+    }
+
+    impl Component<TMsg> for Churner {
+        crate::clone_snapshot!();
+
+        fn handle(&mut self, ctx: &mut Ctx<'_, TMsg>, msg: TMsg) {
+            let TMsg::Val(n) = msg else { panic!("Val expected") };
+            self.log.push((ctx.now(), n));
+            if let Some(page) = self.stash.take() {
+                let bytes = ctx.pages().take(page);
+                assert_eq!(bytes, self.left.to_le_bytes(), "stashed page survived intact");
+            }
+            if self.left > 0 {
+                self.left -= 1;
+                self.stash = Some(ctx.pages().alloc_from(&self.left.to_le_bytes()));
+                ctx.send_self(HOP / 4, TMsg::Val(n + 1));
+            }
+        }
+    }
+
+    fn churn_world() -> (Simulator<TMsg>, ComponentId, ComponentId) {
+        let mut sim = Simulator::new();
+        let churner = sim.reserve();
+        let kicker = sim.add_component(Burster {
+            sink: churner,
+            shots: vec![(HOP * 3, 999)],
+        });
+        // Long enough (100 * HOP of local work, ~2 * HOP of bound
+        // advance per round) that after the straggler's rollbacks have
+        // shrunk the window, plenty of windows remain to commit.
+        sim.install(churner, Churner { left: 400, stash: None, log: vec![] });
+        (sim, churner, kicker)
+    }
+
+    #[test]
+    fn straggler_below_speculated_horizon_forces_rollback() {
+        let (mut seq, churner, kicker) = churn_world();
+        seq.schedule(SimTime::ZERO, churner, TMsg::Val(0));
+        seq.schedule(SimTime::ZERO, kicker, TMsg::Val(0));
+        seq.run();
+
+        let (sim, churner2, kicker2) = churn_world();
+        let mut sharded = ShardedSimulator::from_simulator(sim, vec![0, 1], 2, HOP);
+        sharded.set_exec_mode(ExecMode::Optimistic);
+        // A huge pinned window guarantees shard 0 speculates far past
+        // the kicker's parcel (which arrives at 3 * HOP): a straggler
+        // below the speculated horizon, forcing a rollback. The window
+        // then shrinks multiplicatively until later windows commit.
+        sharded.set_speculation_window(HOP * 100);
+        sharded.schedule(SimTime::ZERO, churner2, TMsg::Val(0));
+        sharded.schedule(SimTime::ZERO, kicker2, TMsg::Val(0));
+        sharded.run();
+
+        let stats = sharded.shard_stats();
+        let lane = &stats.shards[0];
+        assert!(lane.rollbacks >= 1, "straggler must roll the window back: {stats:?}");
+        assert!(lane.rolled_back_events > 0, "{stats:?}");
+        assert!(lane.committed_events > 0, "shrunken windows must commit: {stats:?}");
+        assert!(lane.window < HOP * 100, "rollbacks must shrink the window: {stats:?}");
+        assert_eq!(sharded.events_delivered(), seq.events_delivered());
+        assert_eq!(sharded.now(), seq.now());
+        assert_eq!(
+            sharded.component::<Churner>(churner2).unwrap().log,
+            seq.component::<Churner>(churner).unwrap().log,
+        );
+        // Rollback must leave no speculative page behind.
+        sharded.assert_quiescent();
+    }
+
+    #[test]
+    fn zero_window_optimistic_degenerates_to_conservative() {
+        let (sim, a, _) = bounce_world();
+        let mut sharded = ShardedSimulator::from_simulator(sim, vec![0, 1], 2, HOP);
+        sharded.set_exec_mode(ExecMode::Optimistic);
+        sharded.set_speculation_window(SimTime::ZERO);
+        sharded.schedule(SimTime::ZERO, a, TMsg::Val(40));
+        sharded.run();
+        let stats = sharded.shard_stats();
+        for lane in &stats.shards {
+            assert_eq!(lane.committed_events, 0, "{stats:?}");
+            assert_eq!(lane.rolled_back_events, 0, "{stats:?}");
+            assert_eq!(lane.rollbacks, 0, "{stats:?}");
+            assert_eq!(lane.window, SimTime::ZERO, "a zero window is never raised");
+        }
+        let (sim2, a2, _) = bounce_world();
+        let mut conservative = ShardedSimulator::from_simulator(sim2, vec![0, 1], 2, HOP);
+        conservative.set_exec_mode(ExecMode::Threads);
+        conservative.schedule(SimTime::ZERO, a2, TMsg::Val(40));
+        conservative.run();
+        assert_eq!(sharded.events_delivered(), conservative.events_delivered());
+        assert_eq!(sharded.now(), conservative.now());
+        assert_eq!(sharded.sync_rounds(), conservative.sync_rounds());
     }
 
     #[test]

@@ -14,15 +14,16 @@
 
 use std::time::Instant;
 
-use bluedbm::core::{Cluster, KvStore, SystemConfig};
+use bluedbm::core::{Cluster, ExecMode, KvStore, SystemConfig};
 use bluedbm::workloads::kvgen::{kv_flash_geometry, run_requests, KvRunSummary, KvWorkloadSpec};
 
 const NODES: usize = 4;
 
-fn run(spec: &KvWorkloadSpec, shards: usize) -> (KvRunSummary, u64, f64) {
+fn run(spec: &KvWorkloadSpec, shards: usize, exec: ExecMode) -> (KvRunSummary, u64, f64) {
     let mut config = SystemConfig::scaled_down();
     config.flash.geometry = kv_flash_geometry();
     config.sim.shards = shards;
+    config.sim.exec = exec;
     let mut store = KvStore::new(Cluster::ring(NODES, &config).expect("cluster"));
 
     let t0 = Instant::now(); // detlint::allow(no-wallclock): reports wall time only
@@ -36,6 +37,8 @@ fn run(spec: &KvWorkloadSpec, shards: usize) -> (KvRunSummary, u64, f64) {
 
     let engine = if shards == 1 {
         "sequential".to_string()
+    } else if exec == ExecMode::Optimistic {
+        format!("{shards}-shard optimistic")
     } else {
         format!("{shards}-shard  ")
     };
@@ -68,6 +71,19 @@ fn run(spec: &KvWorkloadSpec, shards: usize) -> (KvRunSummary, u64, f64) {
             sched.mean_wait(),
         );
     }
+    if let Some(stats) = store.cluster().shard_stats() {
+        for (shard, lane) in stats.shards.iter().enumerate() {
+            println!(
+                "  shard {shard}: {} committed / {} rolled-back speculative events ({} rollbacks), window {}, {} spins, {} parks",
+                lane.committed_events,
+                lane.rolled_back_events,
+                lane.rollbacks,
+                lane.window,
+                lane.spins,
+                lane.parks,
+            );
+        }
+    }
     (summary, events, wall)
 }
 
@@ -92,9 +108,14 @@ fn main() {
         SystemConfig::scaled_down().accel.units,
     );
 
-    let (seq, seq_events, seq_wall) = run(&spec, 1);
-    for shards in [2, 4] {
-        let (sharded, events, wall) = run(&spec, shards);
+    let (seq, seq_events, seq_wall) = run(&spec, 1, ExecMode::Auto);
+    for (shards, exec) in [
+        (2, ExecMode::Auto),
+        (4, ExecMode::Auto),
+        (2, ExecMode::Optimistic),
+        (4, ExecMode::Optimistic),
+    ] {
+        let (sharded, events, wall) = run(&spec, shards, exec);
         assert_eq!(
             seq.digest, sharded.digest,
             "per-op results diverged between engines"

@@ -24,12 +24,14 @@ export BLUEDBM_BENCH_JSON="$out"
 echo "== layout sizes: Msg / queue entries (fails if Msg > 64 bytes) =="
 cargo run -p bluedbm-bench --release --quiet --bin sizes
 
-# The shard-scaling rows (sim_throughput/mesh8x8_scatter_sharded{1,2,4})
-# only show real parallel speedup when the host has cores to run the
-# shards on; record the core count so the curve is interpretable, and
-# flag outright when the widest sharded row (4 shards) is oversubscribed
-# — on such hosts the sharded rows measure the sync protocol's overhead
-# floor, not parallel scaling, and must not be read as a speedup curve.
+# The shard-scaling rows (sim_throughput/mesh8x8_scatter_sharded{1,2,4},
+# the optimistic lanes mesh8x8_scatter_optimistic{2,4} and the KV rows
+# kv_million_{seq,sharded{2,4},optimistic{2,4}}) only show real parallel
+# speedup when the host has cores to run the shards on; record the core
+# count so the curve is interpretable, and flag outright when the widest
+# sharded row (4 shards) is oversubscribed — on such hosts the sharded
+# rows measure the sync protocol's overhead floor, not parallel scaling,
+# and must not be read as a speedup curve.
 cpus="$(nproc)"
 echo "{\"id\":\"meta/host_cpus\",\"value\":$cpus}" >> "$out"
 if [ "$cpus" -lt 4 ]; then overhead_floor=1; else overhead_floor=0; fi

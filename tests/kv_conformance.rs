@@ -21,7 +21,7 @@
 
 use proptest::prelude::*;
 
-use bluedbm::core::{Cluster, KvStore, NodeId, SystemConfig};
+use bluedbm::core::{Cluster, ExecMode, KvStore, NodeId, SystemConfig};
 use bluedbm::net::Topology;
 use bluedbm::workloads::kvgen::{run_requests, KvRunSummary, KvWorkloadSpec};
 
@@ -150,6 +150,32 @@ fn batch_size_does_not_change_results() {
     assert_eq!(a.summary.get_hits, b.summary.get_hits);
     assert_eq!(a.keys, b.keys);
     assert_eq!(a.flash_pages_in_use, b.flash_pages_in_use);
+}
+
+#[test]
+fn ring4_kv_optimistic_matches_across_window_sizes() {
+    // The full KV stack under speculation: flash-array journalling
+    // (program / trim / read-stat undo), router and agent clone
+    // snapshots, page/pool store segment rollback. Windows span the
+    // degenerate conservative case (0), sub-lookahead, and far past the
+    // lookahead (rollback-heavy); digests, op counts, directory state
+    // and the leak audits must match sequential everywhere.
+    let spec = small_spec(4);
+    let seq = run(&spec, Cluster::ring(4, &config_with_shards(1)).unwrap(), 64);
+    for shards in [2, 4] {
+        for wmul in [0u64, 1, 16] {
+            let mut config = config_with_shards(shards);
+            config.sim.exec = ExecMode::Optimistic;
+            let mut cluster = Cluster::ring(4, &config).unwrap();
+            let w = cluster.min_lookahead().unwrap() * wmul;
+            cluster.set_speculation_window(w);
+            let opt = run(&spec, cluster, 64);
+            assert_eq!(
+                seq, opt,
+                "optimistic {shards}-shard KV run (window {w}) diverged from sequential"
+            );
+        }
+    }
 }
 
 /// Deterministic mixer for the property test's derived choices.
