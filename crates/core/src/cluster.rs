@@ -20,7 +20,7 @@ use bluedbm_net::topology::{NodeId, PortId, Topology};
 use bluedbm_sim::engine::{Component, ComponentId, Simulator};
 use bluedbm_sim::shard::{ExecMode, ShardStats, ShardedSimulator};
 use bluedbm_sim::time::SimTime;
-use bluedbm_sim::PageRef;
+use bluedbm_sim::{MetricsDoc, MetricsRegistry, PageRef, TracePart, WallLaneProfile};
 
 use crate::config::SystemConfig;
 use crate::msg::{Msg, NetBody};
@@ -106,6 +106,13 @@ impl Engine {
                 sim.pool_store().assert_quiescent();
             }
             Engine::Sharded(sim) => sim.assert_quiescent(),
+        }
+    }
+
+    fn take_trace(&mut self) -> Vec<TracePart> {
+        match self {
+            Engine::Seq(sim) => vec![sim.take_trace()],
+            Engine::Sharded(sim) => sim.take_trace(),
         }
     }
 }
@@ -307,7 +314,8 @@ impl Cluster {
                 node_splitters.push(split);
             }
             let link = sim.add_component(PcieLink::new(config.pcie));
-            let sched = sim.add_component(AccelSched::new(config.accel.units));
+            let sched = sim
+                .add_component(AccelSched::new(config.accel.units).with_node(node as u32));
             let agent = sim.add_component(NodeAgent::new(
                 NodeId::from(node),
                 node_router,
@@ -333,6 +341,7 @@ impl Cluster {
             splitters.push(node_splitters);
         }
         let engine = if shards <= 1 {
+            sim.set_trace(config.sim.trace, 0);
             Engine::Seq(Box::new(sim))
         } else {
             let mut owner = vec![u32::MAX; sim.component_count()];
@@ -358,6 +367,7 @@ impl Cluster {
             let mut sharded =
                 ShardedSimulator::with_lookaheads(sim, owner, shards, lookaheads);
             sharded.set_exec_mode(config.sim.exec);
+            sharded.set_trace(config.sim.trace);
             Engine::Sharded(sharded)
         };
         Ok(Cluster {
@@ -486,6 +496,96 @@ impl Cluster {
             Engine::Seq(_) => None,
             Engine::Sharded(sim) => Some(sim.shard_stats()),
         }
+    }
+
+    /// Harvest the per-shard trace buffers accumulated so far: one
+    /// [`TracePart`] on the sequential engine, one per worker shard
+    /// otherwise (empty parts when `config.sim.trace` is off). Taking
+    /// resets the sinks, so back-to-back harvests see disjoint records;
+    /// merge parts with [`bluedbm_sim::TraceDoc::merge`].
+    pub fn take_trace(&mut self) -> Vec<TracePart> {
+        self.engine.take_trace()
+    }
+
+    /// Wall-clock worker profiles from threaded runs (`None` on the
+    /// sequential engine; all zeros unless
+    /// `config.sim.trace.wall_profile` opted in). Strictly an
+    /// out-of-band measurement — never part of the deterministic record.
+    pub fn wall_profiles(&self) -> Option<Vec<WallLaneProfile>> {
+        match &self.engine {
+            Engine::Seq(_) => None,
+            Engine::Sharded(sim) => Some(sim.wall_profiles()),
+        }
+    }
+
+    /// Write the cluster's complete statistics inventory into `reg`: an
+    /// `engine` scope (mode, shard count, event count, sync rounds,
+    /// per-shard speculation/wait lanes, opt-in wall profiles) and a
+    /// `nodes` scope with per-node router / agent / scheduler /
+    /// host-buffer / flash-card subtrees.
+    pub fn fill_metrics(&self, reg: &mut MetricsRegistry) {
+        let engine = reg.scope("engine");
+        engine.set(
+            "mode",
+            match self.exec_mode() {
+                None => "seq".to_string(),
+                Some(m) => format!("{m:?}").to_lowercase(),
+            },
+        );
+        engine.set("shards", self.shard_count());
+        engine.set("now_ps", self.now().as_ps());
+        engine.set("events_delivered", self.events_delivered());
+        if let Some(rounds) = self.sync_rounds() {
+            engine.set("sync_rounds", rounds);
+        }
+        if let Some(stats) = self.shard_stats() {
+            for (i, lane) in stats.shards.iter().enumerate() {
+                let shard = engine.child(&format!("shard{i}"));
+                shard.set("committed_events", lane.committed_events);
+                shard.set("rolled_back_events", lane.rolled_back_events);
+                shard.set("rollbacks", lane.rollbacks);
+                shard.set("window_ps", lane.window.as_ps());
+                shard.set("spins", lane.spins);
+                shard.set("parks", lane.parks);
+            }
+        }
+        if let Some(walls) = self.wall_profiles() {
+            for (i, w) in walls.iter().enumerate() {
+                if w.spin_ns == 0 && w.park_ns == 0 && w.execute_ns == 0 {
+                    continue;
+                }
+                let lane = engine.child(&format!("wall{i}"));
+                lane.set("spin_ns", w.spin_ns);
+                lane.set("park_ns", w.park_ns);
+                lane.set("execute_ns", w.execute_ns);
+            }
+        }
+        let nodes = reg.scope("nodes");
+        for node in 0..self.node_count() {
+            let id = NodeId::from(node);
+            let scope = nodes.child(&format!("node{node}"));
+            self.router_stats(id).fill_metrics(scope.child("router"));
+            self.agent_stats(id).fill_metrics(scope.child("agent"));
+            self.sched_stats(id).fill_metrics(scope.child("sched"));
+            self.engine
+                .component::<NodeAgent>(self.agents[node])
+                .expect("agent installed")
+                .host_buffers()
+                .fill_metrics(scope.child("host_buffers"));
+            for card in 0..self.config.flash.cards_per_node {
+                self.controller_stats(id, card)
+                    .fill_metrics(scope.child(&format!("card{card}")));
+            }
+        }
+    }
+
+    /// A fresh [`MetricsDoc`] snapshot of [`Cluster::fill_metrics`] —
+    /// the mid-run observability entry point (JSON via
+    /// [`MetricsDoc::to_json_pretty`]).
+    pub fn metrics(&self) -> MetricsDoc {
+        let mut reg = MetricsRegistry::new();
+        self.fill_metrics(&mut reg);
+        reg.snapshot()
     }
 
     /// Pin every shard's speculation window to `w` (no-op on the

@@ -10,6 +10,7 @@ use bluedbm_host::PcieParams;
 use bluedbm_net::NetParams;
 use bluedbm_sim::shard::ExecMode;
 use bluedbm_sim::time::{Bandwidth, SimTime};
+use bluedbm_sim::TraceConfig;
 
 use crate::power::PowerModel;
 
@@ -156,6 +157,13 @@ pub struct SimConfig {
     /// or bounded-window optimistic speculation. See
     /// `bluedbm_sim::shard::ExecMode`.
     pub exec: ExecMode,
+    /// Deterministic event tracing (off by default — every trace entry
+    /// point then costs one predictable branch). When enabled, every
+    /// engine sink captures per-shard records harvested through
+    /// `Cluster::take_trace` / `KvStore::take_trace`. Capturing never
+    /// perturbs simulated results: the merged trace and all observables
+    /// are identical with tracing on or off.
+    pub trace: TraceConfig,
 }
 
 impl SimConfig {
@@ -164,6 +172,7 @@ impl SimConfig {
         SimConfig {
             shards: 1,
             exec: ExecMode::Auto,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -172,6 +181,7 @@ impl SimConfig {
         SimConfig {
             shards: n.max(1),
             exec: ExecMode::Auto,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -180,7 +190,14 @@ impl SimConfig {
         SimConfig {
             shards: n.max(1),
             exec: ExecMode::Optimistic,
+            trace: TraceConfig::off(),
         }
+    }
+
+    /// The same engine with event tracing per `trace`.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
     }
 }
 

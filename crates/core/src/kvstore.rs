@@ -91,6 +91,9 @@ use bluedbm_sim::fxhash::FxHashMap;
 
 use bluedbm_net::topology::NodeId;
 use bluedbm_sim::time::SimTime;
+use bluedbm_sim::{
+    Histogram, MetricsDoc, MetricsRegistry, TraceCat, TracePart, TraceSink, DRIVER_SHARD,
+};
 
 use crate::cluster::{Cluster, ClusterError, GlobalPageAddr};
 use crate::node::{Completed, Consume};
@@ -169,7 +172,7 @@ impl KvCompletion {
 }
 
 /// Per-tenant accounting, updated as operations complete.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TenantStats {
     /// Puts completed.
     pub puts: u64,
@@ -187,6 +190,25 @@ pub struct TenantStats {
     pub total_gate_wait: SimTime,
     /// Largest single key-gate wait.
     pub max_gate_wait: SimTime,
+    /// End-to-end (submit → finish) op latency distribution;
+    /// `latency.percentile(0.99)` is the tenant's p99.
+    pub latency: Histogram,
+}
+
+impl TenantStats {
+    /// Write every counter (and the latency percentiles) into a metrics
+    /// `node` (see [`bluedbm_sim::MetricsRegistry`]).
+    pub fn fill_metrics(&self, node: &mut bluedbm_sim::MetricsNode) {
+        node.set("puts", self.puts);
+        node.set("gets", self.gets);
+        node.set("deletes", self.deletes);
+        node.set("get_hits", self.get_hits);
+        node.set("get_misses", self.get_misses);
+        node.set("errors", self.errors);
+        node.set("total_gate_wait_ps", self.total_gate_wait.as_ps());
+        node.set("max_gate_wait_ps", self.max_gate_wait.as_ps());
+        node.histogram("latency", &self.latency.summary());
+    }
 }
 
 /// Readers-writer gate over one key, FIFO so no tenant starves.
@@ -298,6 +320,11 @@ pub struct KvStore {
     finished: Vec<KvCompletion>,
     tenants: FxHashMap<TenantId, TenantStats>,
     page_bytes: usize,
+    /// Driver-side trace sink ([`DRIVER_SHARD`]): KV op lifecycle
+    /// records live here, beside — not inside — the engine's per-shard
+    /// sinks. Disabled (free) unless `config.sim.trace` enables the
+    /// [`TraceCat::KvOp`] category.
+    trace: TraceSink,
 }
 
 impl KvStore {
@@ -305,6 +332,7 @@ impl KvStore {
     pub fn new(cluster: Cluster) -> Self {
         let nodes = cluster.node_count();
         let page_bytes = cluster.config().flash.geometry.page_bytes;
+        let trace = TraceSink::new(cluster.config().sim.trace, DRIVER_SHARD);
         KvStore {
             cluster,
             directory: FxHashMap::default(),
@@ -319,6 +347,7 @@ impl KvStore {
             finished: Vec::new(),
             tenants: FxHashMap::default(),
             page_bytes,
+            trace,
         }
     }
 
@@ -370,7 +399,43 @@ impl KvStore {
 
     /// Accounting for `tenant` (zeros if it never completed an op).
     pub fn tenant_stats(&self, tenant: TenantId) -> TenantStats {
-        self.tenants.get(&tenant).copied().unwrap_or_default()
+        self.tenants.get(&tenant).cloned().unwrap_or_default()
+    }
+
+    /// Harvest every trace buffer: the cluster's per-shard engine sinks
+    /// plus the KV driver's own [`DRIVER_SHARD`] sink. Merge with
+    /// [`bluedbm_sim::TraceDoc::merge`]; taking resets the sinks.
+    pub fn take_trace(&mut self) -> Vec<TracePart> {
+        let mut parts = self.cluster.take_trace();
+        parts.push(self.trace.take());
+        parts
+    }
+
+    /// Write the KV layer's statistics into `reg`: a `kv` scope with
+    /// totals plus one `tenant<T>` subtree per tenant (counters and the
+    /// end-to-end latency percentiles).
+    pub fn fill_metrics(&self, reg: &mut MetricsRegistry) {
+        let kv = reg.scope("kv");
+        kv.set("keys", self.directory.len());
+        kv.set("in_flight", self.ops.len());
+        kv.set("window", self.window);
+        kv.set("directory_pages", self.directory_pages);
+        // Sort: FxHashMap iteration order must not leak into the doc.
+        let mut tenants: Vec<&TenantId> = self.tenants.keys().collect();
+        tenants.sort_unstable();
+        for &tenant in tenants {
+            let node = kv.child(&format!("tenant{tenant}"));
+            self.tenants[&tenant].fill_metrics(node);
+        }
+    }
+
+    /// A complete [`MetricsDoc`] snapshot: the cluster inventory
+    /// ([`Cluster::fill_metrics`]) plus the KV scope above.
+    pub fn metrics(&self) -> MetricsDoc {
+        let mut reg = MetricsRegistry::new();
+        self.cluster.fill_metrics(&mut reg);
+        self.fill_metrics(&mut reg);
+        reg.snapshot()
     }
 
     /// Flash pages allocated through this store's cluster but referenced
@@ -449,6 +514,11 @@ impl KvStore {
         let id = self.next_op;
         self.next_op += 1;
         let exclusive = body.exclusive();
+        let kind_code = body.kind() as u64;
+        let now_ps = self.cluster.now().as_ps();
+        self.trace
+            .at(now_ps)
+            .instant(TraceCat::KvOp, "submit", u32::from(tenant), id, kind_code);
         self.ops.insert(
             id,
             InFlight {
@@ -467,6 +537,9 @@ impl KvStore {
         let gate = self.gates.entry(key.to_vec()).or_default();
         if gate.waiting.is_empty() && gate.admits(exclusive) {
             gate.acquire(exclusive);
+            self.trace
+                .at(now_ps)
+                .instant(TraceCat::KvOp, "gate", u32::from(tenant), id, 0);
             self.ready.push_back(id);
         } else {
             gate.waiting.push_back(id);
@@ -574,6 +647,14 @@ impl KvStore {
                 },
             }
         };
+        let tenant = self.ops[&id].tenant;
+        self.trace.at(now.as_ps()).instant(
+            TraceCat::KvOp,
+            "start",
+            u32::from(tenant),
+            id,
+            home.index() as u64,
+        );
         // Phase 2: talk to the directory and the cluster, then store the
         // results back.
         match plan {
@@ -746,6 +827,22 @@ impl KvStore {
         let wait = op.started - op.submitted;
         stats.total_gate_wait += wait;
         stats.max_gate_wait = stats.max_gate_wait.max(wait);
+        let latency = finished - op.submitted;
+        stats.latency.record(latency);
+        // b packs the arbitration-independent observables only: the
+        // latency itself shifts with when the driver's submit round
+        // quiesced, which redistributes across engines (see
+        // `KvRunSummary::sim_time`), and would break the stable
+        // cross-engine trace digest.
+        let flags =
+            ((kind as u64) << 2) | (u64::from(op.found) << 1) | u64::from(op.error.is_some());
+        self.trace.at(finished.as_ps()).instant(
+            TraceCat::KvOp,
+            "finish",
+            u32::from(op.tenant),
+            id,
+            flags,
+        );
 
         self.release_gate(&op.key, exclusive);
         self.finished.push(KvCompletion {
@@ -778,6 +875,11 @@ impl KvStore {
             }
             gate.waiting.pop_front();
             gate.acquire(exclusive);
+            let tenant = self.ops[&front].tenant;
+            let now_ps = self.cluster.now().as_ps();
+            self.trace
+                .at(now_ps)
+                .instant(TraceCat::KvOp, "gate", u32::from(tenant), front, 0);
             self.ready.push_back(front);
             if exclusive {
                 break;

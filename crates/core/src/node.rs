@@ -22,7 +22,7 @@ use bluedbm_net::router::{NetRecv, NetSend};
 use bluedbm_net::topology::NodeId;
 use bluedbm_sim::engine::{Batch, Component, ComponentId, Ctx};
 use bluedbm_sim::time::{Bandwidth, SimTime};
-use bluedbm_sim::PageRef;
+use bluedbm_sim::{MetricsNode, PageRef, TraceCat};
 
 use crate::msg::{Msg, NetBody};
 use crate::scheduler::{SchedDone, SchedSubmit};
@@ -275,6 +275,18 @@ pub struct AgentStats {
 }
 
 impl AgentStats {
+    /// Write every counter into a metrics `node` (see
+    /// [`bluedbm_sim::MetricsRegistry`]).
+    pub fn fill_metrics(&self, node: &mut MetricsNode) {
+        node.set("ops", self.ops);
+        node.set("local_reads", self.local_reads);
+        node.set("remote_reads", self.remote_reads);
+        node.set("remote_jobs", self.remote_jobs);
+        node.set("completions", self.completions);
+        node.set("parked_pages", self.parked_pages);
+        node.set("accel_jobs", self.accel_jobs);
+    }
+
     fn apply(&mut self, delta: AgentStats) {
         self.ops += delta.ops;
         self.local_reads += delta.local_reads;
@@ -493,6 +505,13 @@ impl NodeAgent {
                     // paper's free-queue discipline makes this page wait
                     // for a completion to return a buffer.
                     tc.parked_pages += 1;
+                    ctx.trace().instant(
+                        TraceCat::BufPool,
+                        "park",
+                        self.node.0 as u32,
+                        op_id,
+                        self.host_parked.len() as u64 + 1,
+                    );
                     self.host_parked.push_back((op_id, addr, start, page));
                 }
             }
@@ -796,6 +815,14 @@ impl NodeAgent {
                 if let Some((op_id, addr, start, page)) = self.host_parked.pop_front() {
                     let adopted = self.host_buffers.adopt(page);
                     debug_assert!(adopted, "a just-released buffer must be free");
+                    let waited = (ctx.now() - start).as_ps();
+                    ctx.trace().instant(
+                        TraceCat::BufPool,
+                        "resume",
+                        self.node.0 as u32,
+                        op_id,
+                        waited,
+                    );
                     self.issue_pcie(ctx, op_id, addr, start, page);
                 }
             }

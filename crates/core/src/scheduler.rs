@@ -33,6 +33,7 @@ use std::collections::VecDeque;
 use bluedbm_sim::engine::{Component, ComponentId, Ctx};
 use bluedbm_sim::resource::MultiResource;
 use bluedbm_sim::time::SimTime;
+use bluedbm_sim::{MetricsNode, TraceCat};
 
 use crate::msg::Msg;
 
@@ -94,6 +95,19 @@ impl SchedStats {
             self.total_wait / self.granted
         }
     }
+
+    /// Write every counter into a metrics `node` (see
+    /// [`bluedbm_sim::MetricsRegistry`]).
+    pub fn fill_metrics(&self, node: &mut MetricsNode) {
+        node.set("submitted", self.submitted);
+        node.set("granted", self.granted);
+        node.set("completed", self.completed);
+        node.set("parked", self.parked);
+        node.set("peak_parked", self.peak_parked);
+        node.set("total_wait_ps", self.total_wait.as_ps());
+        node.set("max_wait_ps", self.max_wait.as_ps());
+        node.set("mean_wait_ps", self.mean_wait().as_ps());
+    }
 }
 
 /// A job waiting for a free unit.
@@ -110,6 +124,7 @@ struct ParkedJob {
 pub struct AccelSched {
     units: usize,
     busy: usize,
+    node: u32,
     parked: VecDeque<ParkedJob>,
     stats: SchedStats,
 }
@@ -125,9 +140,17 @@ impl AccelSched {
         AccelSched {
             units,
             busy: 0,
+            node: 0,
             parked: VecDeque::new(),
             stats: SchedStats::default(),
         }
+    }
+
+    /// Tag this scheduler with its owning node index — the `track` of
+    /// every [`TraceCat::Accel`] record it emits.
+    pub fn with_node(mut self, node: u32) -> Self {
+        self.node = node;
+        self
     }
 
     /// Units this scheduler arbitrates.
@@ -162,6 +185,8 @@ impl AccelSched {
         self.stats.granted += 1;
         self.stats.total_wait += waited;
         self.stats.max_wait = self.stats.max_wait.max(waited);
+        ctx.trace()
+            .instant(TraceCat::Accel, "grant", self.node, job, waited.as_ps());
         ctx.send_self(duration, SchedFree { job, reply_to });
     }
 }
@@ -177,6 +202,8 @@ impl Component<Msg> for AccelSched {
                     self.grant(ctx, s.job, s.reply_to, s.duration, SimTime::ZERO);
                 } else {
                     self.stats.parked += 1;
+                    ctx.trace()
+                        .instant(TraceCat::Accel, "park", self.node, s.job, 0);
                     self.parked.push_back(ParkedJob {
                         job: s.job,
                         reply_to: s.reply_to,
@@ -190,6 +217,8 @@ impl Component<Msg> for AccelSched {
             Msg::SchedFree(f) => {
                 self.busy -= 1;
                 self.stats.completed += 1;
+                ctx.trace()
+                    .instant(TraceCat::Accel, "done", self.node, f.job, 0);
                 ctx.send(f.reply_to, SimTime::ZERO, SchedDone { job: f.job });
                 if let Some(next) = self.parked.pop_front() {
                     let waited = ctx.now() - next.since;

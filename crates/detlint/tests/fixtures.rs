@@ -99,6 +99,19 @@ fn r3_map_iteration_order_leak() {
 }
 
 #[test]
+fn r3_trace_writes_in_handlers_are_not_sends() {
+    // The observability layer's whole premise: TraceSink writes inside
+    // Component handlers are observation, not arbitration. Iterating a
+    // hash container to emit trace records must lint clean — but the
+    // moment an event send rides the same loop, R3 still fires.
+    assert_eq!(lint_fixture("r3_trace_negative.rs"), vec![]);
+    assert_eq!(
+        lint_fixture("r3_trace_positive.rs"),
+        vec![(11, "map-iteration-order-leak")]
+    );
+}
+
+#[test]
 fn r4_float_sim_time() {
     assert_eq!(
         lint_fixture("r4_positive.rs"),
@@ -122,7 +135,7 @@ fn r5_stale_allow() {
 #[test]
 fn tree_walk_over_fixtures_reports_positives() {
     let report = lint_tree(&fixtures_dir()).expect("walk fixtures");
-    assert_eq!(report.files_scanned, 12);
+    assert_eq!(report.files_scanned, 14);
     let positives: Vec<&str> = report
         .findings
         .iter()

@@ -1,0 +1,22 @@
+// detlint fixture (R3 negative): TraceSink writes inside a Component
+// handler are observation, not arbitration — a handler may iterate a
+// hash container to emit trace records (the sink orders the merged
+// trace by (time, shard, seq), and FxHashMap iteration is deterministic
+// for a fixed key set) as long as no event send rides the iteration.
+
+struct TracedProbe {
+    occupancy: FxHashMap<u32, u64>,
+}
+
+impl Component<Msg> for TracedProbe {
+    fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+        for (lane, depth) in self.occupancy.iter() {
+            ctx.trace().counter(TraceCat::BufPool, "depth", *lane, *depth);
+        }
+        ctx.trace().span_begin(TraceCat::Dispatch, "probe", 0, 0, 0);
+        for lane in self.occupancy.keys() {
+            ctx.trace().instant(TraceCat::BufPool, "lane", *lane, 0, 0);
+        }
+        ctx.trace().span_end(TraceCat::Dispatch, "probe", 0, 0, 0);
+    }
+}

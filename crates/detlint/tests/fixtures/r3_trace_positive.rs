@@ -1,0 +1,16 @@
+// detlint fixture (R3, trace-adjacent positive): tracing beside a send
+// does not excuse the send — hash-map iteration ordering the event
+// stream still fires even when the loop also writes trace records.
+
+struct TracedFanout {
+    peers: FxHashMap<u32, u64>,
+}
+
+impl Component<Msg> for TracedFanout {
+    fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, msg: Msg) {
+        for (peer, credit) in self.peers.iter() {
+            ctx.trace().instant(TraceCat::Dispatch, "fanout", *peer, *credit, 0);
+            ctx.send(*peer, FANOUT_DELAY, Msg::Credit(*credit));
+        }
+    }
+}

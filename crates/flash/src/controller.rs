@@ -180,6 +180,18 @@ pub struct CtrlStats {
     pub peak_in_flight: usize,
 }
 
+impl CtrlStats {
+    /// Write the counters and read-latency percentiles into a metrics
+    /// subtree (for the unified `bluedbm_trace::MetricsRegistry`).
+    pub fn fill_metrics(&self, node: &mut bluedbm_trace::MetricsNode) {
+        node.set("tag_stalls", self.tag_stalls);
+        node.set("peak_in_flight", self.peak_in_flight);
+        node.set("read_bytes", self.read_throughput.total_bytes());
+        node.set("read_ops", self.read_throughput.ops());
+        node.histogram("read_latency", &self.read_latency.summary());
+    }
+}
+
 /// DES component wrapping a [`FlashArray`] with the paper's controller
 /// timing and interface. Send it [`CtrlCmd`]s; it replies with
 /// [`CtrlResp`]s.

@@ -184,6 +184,15 @@ impl BufferPool {
     pub fn exhaustions(&self) -> u64 {
         self.exhaustions
     }
+
+    /// Write the pool's occupancy counters into a metrics subtree (for
+    /// the unified `bluedbm_trace::MetricsRegistry`).
+    pub fn fill_metrics(&self, node: &mut bluedbm_trace::MetricsNode) {
+        node.set("capacity", self.capacity);
+        node.set("in_use", self.in_use());
+        node.set("peak_in_use", self.peak_in_use);
+        node.set("exhaustions", self.exhaustions);
+    }
 }
 
 #[cfg(test)]

@@ -183,6 +183,18 @@ impl RouterStats {
         self.delivered_bytes += tc.delivered_bytes;
         self.credit_stalls += tc.credit_stalls;
     }
+
+    /// Write the counters and latency percentiles into a metrics
+    /// subtree (for the unified `bluedbm_trace::MetricsRegistry`).
+    pub fn fill_metrics(&self, node: &mut bluedbm_trace::MetricsNode) {
+        node.set("injected", self.injected);
+        node.set("forwarded", self.forwarded);
+        node.set("delivered", self.delivered);
+        node.set("delivered_bytes", self.delivered_bytes);
+        node.set("credit_stalls", self.credit_stalls);
+        node.set("order_violations", self.order_violations);
+        node.histogram("latency", &self.latency.summary());
+    }
 }
 
 /// The per-node network component, generic over the packet body type.

@@ -55,6 +55,8 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
+use bluedbm_trace::{TraceCat, TraceConfig, TraceKind, TracePart, TraceSink, Tracer};
+
 use crate::arena::ComponentArena;
 use crate::pagestore::PageStore;
 use crate::pool::PoolStore;
@@ -656,6 +658,7 @@ pub struct Ctx<'a, M: Message> {
     pages: &'a mut PageStore,
     pools: &'a mut PoolStore,
     shard: Option<&'a mut ShardEnv<M>>,
+    trace: &'a mut TraceSink,
 }
 
 impl<M: Message> Ctx<'_, M> {
@@ -669,6 +672,14 @@ impl<M: Message> Ctx<'_, M> {
     #[inline]
     pub fn self_id(&self) -> ComponentId {
         self.self_id
+    }
+
+    /// The trace emission handle, clock-bound to the current instant.
+    /// One branch and a no-op unless tracing was enabled on the
+    /// simulator (see [`Simulator::set_trace`]).
+    #[inline]
+    pub fn trace(&mut self) -> Tracer<'_> {
+        self.trace.at(self.now.as_ps())
     }
 
     /// The simulator-owned [`PageStore`]: allocate payload pages here and
@@ -770,6 +781,9 @@ pub struct Simulator<M: Message> {
     /// Open speculation checkpoint, if the optimistic shard runtime is
     /// mid-window. `None` on every conservative/sequential path.
     spec: Option<Box<SpecCheckpoint>>,
+    /// This simulator's trace sink; disabled (and unallocated) by
+    /// default, so the dispatch hot path pays one predictable branch.
+    pub(crate) trace: TraceSink,
 }
 
 impl<M: Message> Default for Simulator<M> {
@@ -796,6 +810,7 @@ impl<M: Message> Simulator<M> {
             pools: PoolStore::new(),
             shard_env: None,
             spec: None,
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -826,6 +841,35 @@ impl<M: Message> Simulator<M> {
     #[inline]
     pub fn pool_store_mut(&mut self) -> &mut PoolStore {
         &mut self.pools
+    }
+
+    /// Install (or disable) event tracing per `cfg`. Records are stamped
+    /// with `shard` — `0` for a standalone simulator; the sharded
+    /// runtime passes each member's shard id, and driver-side sinks use
+    /// [`bluedbm_trace::DRIVER_SHARD`].
+    ///
+    /// Replaces any existing sink, discarding unharvested records.
+    pub fn set_trace(&mut self, cfg: TraceConfig, shard: u32) {
+        self.trace = TraceSink::new(cfg, shard);
+    }
+
+    /// Shared access to the trace sink (enabled/capture introspection).
+    #[inline]
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Exclusive access to the trace sink — how experiment drivers emit
+    /// records from outside a component handler.
+    #[inline]
+    pub fn trace_sink_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Harvest the records captured so far (the sink stays installed and
+    /// its sequence numbering keeps running).
+    pub fn take_trace(&mut self) -> TracePart {
+        self.trace.take()
     }
 
     /// Size in bytes of one fast-queue entry (the same-instant FIFO's
@@ -944,6 +988,15 @@ impl<M: Message> Simulator<M> {
         if self.spec.is_some() {
             self.spec_touch(to.index());
         }
+        self.trace.record(
+            at.as_ps(),
+            TraceCat::Dispatch,
+            TraceKind::Instant,
+            "event",
+            to.index() as u32,
+            1,
+            0,
+        );
         let component = self.components.get_mut(to.index());
         let mut ctx = Ctx {
             now: at,
@@ -952,6 +1005,7 @@ impl<M: Message> Simulator<M> {
             pages: &mut self.pages,
             pools: &mut self.pools,
             shard: self.shard_env.as_mut(),
+            trace: &mut self.trace,
         };
         component.handle(&mut ctx, msg);
     }
@@ -982,10 +1036,13 @@ impl<M: Message> Simulator<M> {
             pages: &mut self.pages,
             pools: &mut self.pools,
             shard: self.shard_env.as_mut(),
+            trace: &mut self.trace,
         };
         if !ctx.queues.next_matches(at, to) {
             // Singleton event: plain per-message dispatch.
             self.delivered += 1;
+            ctx.trace
+                .record(at.as_ps(), TraceCat::Dispatch, TraceKind::Instant, "event", to.index() as u32, 1, 0);
             component.handle(&mut ctx, msg);
             return;
         }
@@ -996,6 +1053,8 @@ impl<M: Message> Simulator<M> {
             run: 0,
             taken: 0,
         };
+        ctx.trace
+            .record(at.as_ps(), TraceCat::Dispatch, TraceKind::Instant, "train", to.index() as u32, 0, 0);
         component.handle_batch(&mut ctx, &mut batch);
         self.delivered += batch.taken;
         // A batch handler may stop before taking even the head; deliver
@@ -1124,6 +1183,7 @@ impl<M: Message> Simulator<M> {
         self.queues.commit_journal();
         self.pages.checkpoint_commit();
         self.pools.checkpoint_commit();
+        self.trace.journal_commit();
     }
 
     /// Discard all speculative work done since
@@ -1140,6 +1200,7 @@ impl<M: Message> Simulator<M> {
         self.queues.rollback_journal();
         self.pages.checkpoint_rollback();
         self.pools.checkpoint_rollback();
+        self.trace.journal_rollback();
     }
 
     /// Run until the queue empties or `max_events` more events have been
@@ -1176,6 +1237,7 @@ impl<M: Message + Clone> Simulator<M> {
         let chk_seq = self.queues.begin_journal(M::clone);
         self.pages.checkpoint_begin();
         self.pools.checkpoint_begin();
+        self.trace.journal_begin();
         self.spec = Some(Box::new(SpecCheckpoint {
             now: self.now,
             delivered: self.delivered,

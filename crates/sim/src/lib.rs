@@ -6,9 +6,12 @@
 //! primitives, statistics and deterministic randomness that let the rest of
 //! the workspace model that hardware in software.
 //!
-//! The kernel is dependency-free and fully deterministic: events have a
-//! total order (time, then insertion sequence), and all randomness flows
-//! from explicitly seeded [`rng::Rng`] instances.
+//! The kernel is fully deterministic: events have a total order (time,
+//! then insertion sequence), and all randomness flows from explicitly
+//! seeded [`rng::Rng`] instances. Event tracing (the `bluedbm_trace`
+//! sink reachable from [`Ctx::trace`]) is part of that contract — a
+//! captured trace is bit-identical across reruns and engines, and a
+//! disabled sink costs one predictable branch per entry point.
 //!
 //! ## Typed messages
 //!
@@ -143,3 +146,10 @@ pub use rng::Rng;
 pub use shard::{ExecMode, PlainMessage, ShardLaneStats, ShardMessage, ShardStats, ShardedSimulator};
 pub use stats::{Counter, Histogram, MeanTracker, Throughput};
 pub use time::{Bandwidth, SimTime};
+
+// Re-exported so downstream crates can configure and harvest tracing
+// without a direct `bluedbm_trace` dependency line.
+pub use bluedbm_trace::{
+    HistogramSummary, MetricsDoc, MetricsNode, MetricsRegistry, TraceCat, TraceConfig, TraceDoc,
+    TracePart, TraceSink, Tracer, WallLaneProfile, DRIVER_SHARD, STABLE_CATEGORIES,
+};

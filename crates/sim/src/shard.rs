@@ -179,6 +179,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bluedbm_trace::{TraceCat, TraceConfig, TraceKind, TracePart, WallLane, WallLaneProfile};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::affinity;
@@ -360,6 +361,13 @@ pub struct ShardedSimulator<M: ShardMessage> {
     /// Where [`run`](Self::run) executes the rounds (never changes what
     /// they compute).
     exec: ExecMode,
+    /// The trace configuration applied to every shard simulator (and
+    /// the wall-profiling opt-in for the threaded workers).
+    trace_cfg: TraceConfig,
+    /// Per-shard wall-clock worker profilers (spin/park/execute split).
+    /// Strictly outside the deterministic record; populated only by the
+    /// threaded modes when [`TraceConfig::wall_profile`] is set.
+    wall: Vec<WallLane>,
 }
 
 impl<M: ShardMessage> ShardedSimulator<M> {
@@ -492,7 +500,40 @@ impl<M: ShardMessage> ShardedSimulator<M> {
                 .map(|_| ShardLaneStats { window, ..ShardLaneStats::default() })
                 .collect(),
             exec: ExecMode::default(),
+            trace_cfg: TraceConfig::off(),
+            wall: (0..shards).map(|_| WallLane::new(false)).collect(),
         }
+    }
+
+    /// Install (or disable) event tracing on every shard simulator.
+    /// Each shard's records are stamped with its shard id; harvest the
+    /// merged set with [`take_trace`](Self::take_trace). Also arms the
+    /// wall-clock worker profilers when
+    /// [`TraceConfig::wall_profile`] is set (threaded modes only).
+    ///
+    /// Replaces any existing sinks, discarding unharvested records.
+    pub fn set_trace(&mut self, cfg: TraceConfig) {
+        self.trace_cfg = cfg;
+        for (me, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_trace(cfg, me as u32);
+        }
+        self.wall = (0..self.shards.len())
+            .map(|_| WallLane::new(cfg.wall_profile))
+            .collect();
+    }
+
+    /// Harvest every shard's captured records, in shard order (merge
+    /// them with `bluedbm_trace::TraceDoc::merge`). Sinks stay
+    /// installed; sequence numbering keeps running.
+    pub fn take_trace(&mut self) -> Vec<TracePart> {
+        self.shards.iter_mut().map(Simulator::take_trace).collect()
+    }
+
+    /// The per-shard wall-clock profiles (spin/park/execute split),
+    /// accumulated across [`run`](Self::run) calls. All-zero unless
+    /// [`TraceConfig::wall_profile`] was set and a threaded mode ran.
+    pub fn wall_profiles(&self) -> Vec<WallLaneProfile> {
+        self.wall.iter().map(WallLane::profile).collect()
     }
 
     /// Choose where [`run`](Self::run) executes the window protocol.
@@ -750,6 +791,7 @@ impl<M: ShardMessage + Clone> ShardedSimulator<M> {
         }
         let sims: Vec<Simulator<M>> = self.shards.drain(..).collect();
         let lanes: Vec<ShardLaneStats> = std::mem::take(&mut self.lanes);
+        let walls: Vec<WallLane> = std::mem::take(&mut self.wall);
         let lookaheads = &self.lookaheads;
         let min_lookahead = self.min_lookahead;
         let spin = cores_per_shard;
@@ -759,10 +801,10 @@ impl<M: ShardMessage + Clone> ShardedSimulator<M> {
         let result = crossbeam::scope(|scope| {
             let handles: Vec<_> = sims
                 .into_iter()
-                .zip(lanes)
+                .zip(lanes.into_iter().zip(walls))
                 .zip(txs.drain(..).zip(rxs.drain(..)))
                 .enumerate()
-                .map(|(me, ((sim, lane), (tx_row, rx_row)))| {
+                .map(|(me, ((sim, (lane, wall)), (tx_row, rx_row)))| {
                     let lookaheads = Arc::clone(lookaheads);
                     let cfg = WorkerCfg {
                         me,
@@ -777,31 +819,34 @@ impl<M: ShardMessage + Clone> ShardedSimulator<M> {
                         delivered: &delivered_live[me],
                     };
                     scope.spawn(move |_| {
-                        worker(cfg, shared, sim, lane, tx_row, rx_row, lookaheads)
+                        worker(cfg, shared, sim, lane, wall, tx_row, rx_row, lookaheads)
                     })
                 })
                 .collect();
             let mut shards = Vec::with_capacity(n);
             let mut lanes = Vec::with_capacity(n);
+            let mut walls = Vec::with_capacity(n);
             let mut panics = Vec::new();
             for handle in handles {
                 match handle.join() {
-                    Ok((sim, lane)) => {
+                    Ok((sim, lane, wall)) => {
                         shards.push(sim);
                         lanes.push(lane);
+                        walls.push(wall);
                     }
                     Err(payload) => panics.push(payload),
                 }
             }
-            (shards, lanes, panics)
+            (shards, lanes, walls, panics)
         });
         match result {
-            Ok((shards, lanes, panics)) => {
+            Ok((shards, lanes, walls, panics)) => {
                 if let Some(payload) = pick_root_cause(panics) {
                     std::panic::resume_unwind(payload);
                 }
                 self.shards = shards;
                 self.lanes = lanes;
+                self.wall = walls;
             }
             Err(payload) => std::panic::resume_unwind(payload),
         }
@@ -850,13 +895,16 @@ fn recv_spin<M: ShardMessage>(
     rx: &Receiver<Exchange<M>>,
     spin: bool,
     lane: &mut ShardLaneStats,
+    wall: &mut WallLane,
 ) -> Result<Exchange<M>, ()> {
     use crossbeam::channel::TryRecvError;
+    let spin_stamp = wall.stamp();
     if spin {
         for probe in 0..40u32 {
             match rx.try_recv() {
                 Ok(exchange) => {
                     lane.spins += 1;
+                    wall.add_spin(spin_stamp);
                     return Ok(exchange);
                 }
                 Err(TryRecvError::Disconnected) => return Err(()),
@@ -871,7 +919,11 @@ fn recv_spin<M: ShardMessage>(
         }
     }
     lane.parks += 1;
-    rx.recv().map_err(|_| ())
+    wall.add_spin(spin_stamp);
+    let park_stamp = wall.stamp();
+    let got = rx.recv().map_err(|_| ());
+    wall.add_park(park_stamp);
+    got
 }
 
 /// Per-worker configuration, fixed for the whole run.
@@ -935,6 +987,7 @@ fn stage_exchange<M: ShardMessage>(
         }
         let env = sim.shard_env.as_mut().expect("shard env installed");
         let mut raw: Vec<Outbound<M>> = std::mem::take(&mut env.outboxes[dst]);
+        let flushed = raw.len() as u64;
         for mut out in raw.drain(..) {
             out_mins[dst] = min_opt(out_mins[dst], Some(out.at));
             let detached = out.msg.detach(&mut sim.pages, &mut sim.pools);
@@ -948,6 +1001,18 @@ fn stage_exchange<M: ShardMessage>(
             });
         }
         sim.shard_env.as_mut().expect("shard env installed").outboxes[dst] = raw;
+        if flushed > 0 {
+            let now_ps = sim.now.as_ps();
+            sim.trace.record(
+                now_ps,
+                TraceCat::Mailbox,
+                TraceKind::Instant,
+                "flush",
+                dst as u32,
+                flushed,
+                0,
+            );
+        }
     }
     (sim.queues.next_at(), Arc::new(out_mins))
 }
@@ -965,15 +1030,17 @@ fn stage_exchange<M: ShardMessage>(
 /// put bit-identical data on the wire, and speculation lives entirely
 /// in the gap between the send and the matching receives (where a
 /// conservative worker would spin or park).
+#[allow(clippy::too_many_arguments)] // one-caller worker entry point; bundling would just rename the list
 fn worker<M: ShardMessage + Clone>(
     cfg: WorkerCfg,
     shared: SharedCounters<'_>,
     mut sim: Simulator<M>,
     mut lane: ShardLaneStats,
+    mut wall: WallLane,
     txs: Vec<Option<Sender<Exchange<M>>>>,
     rxs: Vec<Option<Receiver<Exchange<M>>>>,
     lookaheads: Arc<Vec<Arc<[SimTime]>>>,
-) -> (Simulator<M>, ShardLaneStats) {
+) -> (Simulator<M>, ShardLaneStats, WallLane) {
     let WorkerCfg { me, spin, optimistic, pin, min_lookahead, rounds_base } = cfg;
     if pin {
         // Pure performance (cache affinity across the per-round spin
@@ -1028,9 +1095,24 @@ fn worker<M: ShardMessage + Clone>(
             if let Some(bound) = last_bound {
                 let horizon = bound + lane.window;
                 if staged_queue_next.is_some_and(|q| q < horizon) {
+                    // The window-open span precedes the checkpoint so a
+                    // rollback erases the window's *event* records but
+                    // keeps the window itself visible in the trace.
+                    let now_ps = sim.now.as_ps();
+                    sim.trace.record(
+                        now_ps,
+                        TraceCat::Spec,
+                        TraceKind::SpanBegin,
+                        "window",
+                        me as u32,
+                        horizon.as_ps(),
+                        0,
+                    );
                     let chk_seq = sim.checkpoint_begin();
                     let base_delivered = sim.events_delivered();
+                    let stamp = wall.stamp();
                     sim.run_before(horizon);
+                    wall.add_execute(stamp);
                     spec = Some(SpecWindow { horizon, chk_seq, base_delivered });
                 }
             }
@@ -1040,9 +1122,13 @@ fn worker<M: ShardMessage + Clone>(
             if src == me {
                 continue;
             }
-            let exchange =
-                recv_spin(rxs[src].as_ref().expect("channel from every peer"), spin, &mut lane)
-                    .unwrap_or_else(|()| panic!("shard {me}: {PEER_LOST} (shard {src})"));
+            let exchange = recv_spin(
+                rxs[src].as_ref().expect("channel from every peer"),
+                spin,
+                &mut lane,
+                &mut wall,
+            )
+            .unwrap_or_else(|()| panic!("shard {me}: {PEER_LOST} (shard {src})"));
             queue_nexts[src] = exchange.queue_next;
             all_out_mins[src] = Some(exchange.out_mins);
             arrivals.extend(exchange.parcels.into_iter().map(|p| (src, p)));
@@ -1070,7 +1156,7 @@ fn worker<M: ShardMessage + Clone>(
             // local frontier below the horizon, which makes our own
             // post-merge horizon non-empty.
             debug_assert!(spec.is_none(), "speculated into a globally empty horizon");
-            return (sim, lane);
+            return (sim, lane, wall);
         }
         rounds += 1;
         shared.rounds.fetch_max(rounds_base + rounds, Ordering::Relaxed);
@@ -1131,6 +1217,13 @@ fn worker<M: ShardMessage + Clone>(
                 // created, above every event that predates it — so ties
                 // order exactly as a conservative merge-then-run round.
                 sim.checkpoint_commit();
+                let now_ps = sim.now.as_ps();
+                sim.trace.record(
+                    now_ps, TraceCat::Spec, TraceKind::Instant, "commit", me as u32, delta, 0,
+                );
+                sim.trace.record(
+                    now_ps, TraceCat::Spec, TraceKind::SpanEnd, "window", me as u32, delta, 0,
+                );
                 lane.committed_events += delta;
                 lane.window = window_grow(lane.window, min_lookahead);
                 for (i, (_, mut parcel)) in arrivals.drain(..).enumerate() {
@@ -1150,6 +1243,13 @@ fn worker<M: ShardMessage + Clone>(
                 // speculative sends are exactly the outbox contents, so
                 // clearing them is the entire anti-message story.
                 sim.checkpoint_rollback();
+                let now_ps = sim.now.as_ps();
+                sim.trace.record(
+                    now_ps, TraceCat::Spec, TraceKind::Instant, "rollback", me as u32, delta, 0,
+                );
+                sim.trace.record(
+                    now_ps, TraceCat::Spec, TraceKind::SpanEnd, "window", me as u32, delta, 0,
+                );
                 let env = sim.shard_env.as_mut().expect("shard env installed");
                 for outbox in env.outboxes.iter_mut() {
                     outbox.clear();
@@ -1168,7 +1268,9 @@ fn worker<M: ShardMessage + Clone>(
         }
         // Run (the rest of) the window conservatively.
         if let Some(bound) = bound {
+            let stamp = wall.stamp();
             sim.run_before(bound);
+            wall.add_execute(stamp);
         }
         // Stage the next round's exchange from the now-committed state
         // and publish the committed counters.
@@ -1223,6 +1325,7 @@ fn run_cooperative<M: ShardMessage>(
                 }
                 let env = sim.shard_env.as_mut().expect("shard env installed");
                 let mut raw: Vec<Outbound<M>> = std::mem::take(&mut env.outboxes[dst]);
+                let flushed = raw.len() as u64;
                 for mut out in raw.drain(..) {
                     out_mins[src][dst] = min_opt(out_mins[src][dst], Some(out.at));
                     let detached = out.msg.detach(&mut sim.pages, &mut sim.pools);
@@ -1236,6 +1339,18 @@ fn run_cooperative<M: ShardMessage>(
                     });
                 }
                 sim.shard_env.as_mut().expect("shard env installed").outboxes[dst] = raw;
+                if flushed > 0 {
+                    let now_ps = sim.now.as_ps();
+                    sim.trace.record(
+                        now_ps,
+                        TraceCat::Mailbox,
+                        TraceKind::Instant,
+                        "flush",
+                        dst as u32,
+                        flushed,
+                        0,
+                    );
+                }
             }
             queue_nexts[src] = sim.queues.next_at();
         }

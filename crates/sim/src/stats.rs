@@ -261,6 +261,20 @@ impl Histogram {
         }
         SimTime::ns(self.max_ns)
     }
+
+    /// Pre-digest the histogram into the fixed percentile points the
+    /// metrics registry reports (`bluedbm_trace::HistogramSummary`).
+    pub fn summary(&self) -> bluedbm_trace::HistogramSummary {
+        bluedbm_trace::HistogramSummary {
+            count: self.count,
+            mean_ps: self.mean().as_ps(),
+            min_ps: self.min().as_ps(),
+            max_ps: self.max().as_ps(),
+            p50_ps: self.percentile(0.50).as_ps(),
+            p99_ps: self.percentile(0.99).as_ps(),
+            p999_ps: self.percentile(0.999).as_ps(),
+        }
+    }
 }
 
 impl fmt::Display for Histogram {

@@ -1,0 +1,112 @@
+//! `simtrace` — convert and validate BlueDBM simulator traces.
+//!
+//! ```text
+//! simtrace <trace.bin>                     summarize (records, categories, digests)
+//! simtrace <trace.bin> --chrome out.json   export Chrome trace_event JSON (Perfetto)
+//! simtrace <trace.bin> --csv out.csv       export CSV
+//! simtrace --check <trace.json>            validate exported Chrome JSON
+//! ```
+//!
+//! Flags compose: one input may be exported to both formats in one run.
+//! Exit status is non-zero on any parse or validation failure.
+
+use std::process::ExitCode;
+
+use bluedbm_trace::{binfmt, chrome, TraceCat, TraceDoc, ALL_CATEGORIES, STABLE_CATEGORIES};
+
+fn usage() -> String {
+    "usage: simtrace <trace.bin> [--chrome OUT.json] [--csv OUT.csv]\n\
+     \x20      simtrace --check <trace.json>"
+        .to_string()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(usage());
+    }
+
+    if args[0] == "--check" {
+        let path = args.get(1).ok_or_else(usage)?;
+        if args.len() > 2 {
+            return Err(usage());
+        }
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let check = chrome::check_chrome_json(&src).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: OK — {} events ({} spans, {} instants, {} counters)",
+            check.events, check.spans, check.instants, check.counters
+        );
+        return Ok(());
+    }
+
+    let input = &args[0];
+    let mut chrome_out: Option<&str> = None;
+    let mut csv_out: Option<&str> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--chrome" => {
+                chrome_out = Some(args.get(i + 1).ok_or_else(usage)?);
+                i += 2;
+            }
+            "--csv" => {
+                csv_out = Some(args.get(i + 1).ok_or_else(usage)?);
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let doc = binfmt::decode(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    summarize(input, &doc);
+
+    if let Some(path) = chrome_out {
+        let json = chrome::to_chrome_json(&doc);
+        // Validate our own output before writing: --check must never be
+        // able to fail on a file this tool produced.
+        let check = chrome::check_chrome_json(&json)
+            .map_err(|e| format!("internal error: exported Chrome JSON invalid: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}: {} Chrome events", check.events);
+    }
+    if let Some(path) = csv_out {
+        std::fs::write(path, doc.to_csv()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}: {} rows", doc.len());
+    }
+    Ok(())
+}
+
+fn summarize(input: &str, doc: &TraceDoc) {
+    println!("{input}: {} records ({} dropped at capacity)", doc.len(), doc.dropped());
+    for cat in TraceCat::ALL {
+        let n = doc.count(cat);
+        if n > 0 {
+            println!("  {:>8}: {n}", cat.label());
+        }
+    }
+    if let (Some(first), Some(last)) = (doc.records().first(), doc.records().last()) {
+        println!(
+            "  span: {} ps .. {} ps ({:.3} ms simulated)",
+            first.at_ps,
+            last.at_ps,
+            (last.at_ps - first.at_ps) as f64 / 1e9
+        );
+    }
+    println!(
+        "  digest: full {:#018x}  stable {:#018x}",
+        doc.digest_full(ALL_CATEGORIES),
+        doc.digest_stable(STABLE_CATEGORIES)
+    );
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("simtrace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The per-shard ring buffer trace records are written into.
+
+use crate::record::{TraceCat, TraceKind, TraceRecord};
+use crate::TraceConfig;
+
+/// One sink's harvest: its records plus how many it had to drop at
+/// capacity. Merged into a [`crate::TraceDoc`].
+#[derive(Debug, Default, Clone)]
+pub struct TracePart {
+    /// Captured records, in emission order.
+    pub records: Vec<TraceRecord>,
+    /// Records discarded because the buffer was full.
+    pub dropped: u64,
+}
+
+/// Journal mark for one open speculation window.
+#[derive(Debug, Clone, Copy)]
+struct Mark {
+    len: usize,
+    seq: u64,
+    dropped: u64,
+}
+
+/// A bounded trace buffer owned by one shard (or one driver loop).
+///
+/// Disabled is the default and costs one branch per entry point: the
+/// buffer is unallocated and `on` is false. When full the sink drops
+/// *new* records (counted in `dropped`) rather than evicting old ones —
+/// eviction would invalidate the truncation marks the speculation
+/// journal relies on.
+///
+/// Speculative execution integration: the optimistic shard runtime
+/// brackets each window with [`journal_begin`](TraceSink::journal_begin)
+/// and [`journal_commit`](TraceSink::journal_commit) /
+/// [`journal_rollback`](TraceSink::journal_rollback), so records
+/// emitted by rolled-back events vanish exactly like their effects and
+/// the committed trace matches the conservative engines.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    on: bool,
+    mask: u32,
+    shard: u32,
+    capacity: usize,
+    seq: u64,
+    dropped: u64,
+    records: Vec<TraceRecord>,
+    journal: Vec<Mark>,
+}
+
+impl TraceSink {
+    /// A disabled sink (no buffer, every entry point a no-op).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A sink for `shard` per `cfg`; disabled config yields a disabled
+    /// sink.
+    pub fn new(cfg: TraceConfig, shard: u32) -> Self {
+        if !cfg.enabled {
+            return Self::disabled();
+        }
+        TraceSink {
+            on: true,
+            mask: cfg.categories,
+            shard,
+            capacity: cfg.capacity as usize,
+            seq: 0,
+            dropped: 0,
+            records: Vec::new(),
+            journal: Vec::new(),
+        }
+    }
+
+    /// Whether this sink captures anything at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Whether `cat` is captured.
+    #[inline]
+    pub fn captures(&self, cat: TraceCat) -> bool {
+        self.on && self.mask & cat.bit() != 0
+    }
+
+    /// The shard id stamped on records.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Records captured so far (drops excluded).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Bind the clock: returns a [`Tracer`] stamping `now_ps` on every
+    /// record it emits. The hot-path shape — the simulator constructs
+    /// one per dispatched event via `ctx.trace()`.
+    #[inline]
+    pub fn at(&mut self, now_ps: u64) -> Tracer<'_> {
+        Tracer { at_ps: now_ps, sink: self }
+    }
+
+    /// Append one record. The first two tests compile to a single
+    /// predictable branch when tracing is off.
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // mirrors TraceRecord's fields
+    pub fn record(
+        &mut self,
+        at_ps: u64,
+        cat: TraceCat,
+        kind: TraceKind,
+        name: &'static str,
+        track: u32,
+        a: u64,
+        b: u64,
+    ) {
+        if !self.on || self.mask & cat.bit() == 0 {
+            return;
+        }
+        self.push(at_ps, cat, kind, name, track, a, b);
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors TraceRecord's fields
+    fn push(
+        &mut self,
+        at_ps: u64,
+        cat: TraceCat,
+        kind: TraceKind,
+        name: &'static str,
+        track: u32,
+        a: u64,
+        b: u64,
+    ) {
+        if self.records.len() >= self.capacity {
+            self.dropped += 1;
+            self.seq += 1;
+            return;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.records.push(TraceRecord {
+            at_ps,
+            shard: self.shard,
+            seq,
+            cat,
+            kind,
+            name,
+            track,
+            a,
+            b,
+        });
+    }
+
+    /// Open a speculation journal mark. No-op when disabled.
+    pub fn journal_begin(&mut self) {
+        if !self.on {
+            return;
+        }
+        self.journal.push(Mark {
+            len: self.records.len(),
+            seq: self.seq,
+            dropped: self.dropped,
+        });
+    }
+
+    /// Commit the innermost open window: records stand, the mark is
+    /// discarded.
+    pub fn journal_commit(&mut self) {
+        if !self.on {
+            return;
+        }
+        self.journal.pop().expect("trace journal commit without begin");
+    }
+
+    /// Roll back the innermost open window: every record emitted since
+    /// its [`journal_begin`](TraceSink::journal_begin) is erased and the
+    /// sequence counter rewinds, so a rolled-back window leaves no
+    /// forensic residue in the deterministic record.
+    pub fn journal_rollback(&mut self) {
+        if !self.on {
+            return;
+        }
+        let mark = self.journal.pop().expect("trace journal rollback without begin");
+        self.records.truncate(mark.len);
+        self.seq = mark.seq;
+        self.dropped = mark.dropped;
+    }
+
+    /// Harvest the captured records, leaving the sink enabled and its
+    /// sequence counter running (a second harvest continues, not
+    /// restarts, the numbering).
+    pub fn take(&mut self) -> TracePart {
+        TracePart {
+            records: std::mem::take(&mut self.records),
+            dropped: std::mem::replace(&mut self.dropped, 0),
+        }
+    }
+}
+
+/// A borrowed `(clock, sink)` pair: the record-emission API
+/// instrumentation sites actually call. Obtained from
+/// [`TraceSink::at`] (or `ctx.trace()` inside a component handler).
+pub struct Tracer<'a> {
+    at_ps: u64,
+    sink: &'a mut TraceSink,
+}
+
+impl Tracer<'_> {
+    /// Whether anything is being captured (to skip payload computation
+    /// at call sites that need more than constants).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.on
+    }
+
+    /// Open a span named `name` on `track`.
+    #[inline]
+    pub fn span_begin(&mut self, cat: TraceCat, name: &'static str, track: u32, a: u64, b: u64) {
+        self.sink
+            .record(self.at_ps, cat, TraceKind::SpanBegin, name, track, a, b);
+    }
+
+    /// Close the innermost span named `name` on `track`.
+    #[inline]
+    pub fn span_end(&mut self, cat: TraceCat, name: &'static str, track: u32, a: u64, b: u64) {
+        self.sink
+            .record(self.at_ps, cat, TraceKind::SpanEnd, name, track, a, b);
+    }
+
+    /// Emit a point event.
+    #[inline]
+    pub fn instant(&mut self, cat: TraceCat, name: &'static str, track: u32, a: u64, b: u64) {
+        self.sink
+            .record(self.at_ps, cat, TraceKind::Instant, name, track, a, b);
+    }
+
+    /// Sample a counter value.
+    #[inline]
+    pub fn counter(&mut self, cat: TraceCat, name: &'static str, track: u32, value: u64) {
+        self.sink
+            .record(self.at_ps, cat, TraceKind::Counter, name, track, value, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled(capacity: u32) -> TraceSink {
+        TraceSink::new(TraceConfig::on().with_capacity(capacity), 2)
+    }
+
+    #[test]
+    fn disabled_sink_captures_nothing() {
+        let mut s = TraceSink::disabled();
+        s.at(5).instant(TraceCat::KvOp, "submit", 0, 1, 2);
+        s.journal_begin();
+        s.journal_rollback();
+        assert!(!s.is_enabled());
+        assert!(s.is_empty());
+        assert_eq!(s.take().records.len(), 0);
+    }
+
+    #[test]
+    fn category_mask_filters() {
+        let cfg = TraceConfig::on().with_categories(TraceCat::Accel.bit());
+        let mut s = TraceSink::new(cfg, 0);
+        s.at(1).instant(TraceCat::KvOp, "submit", 0, 0, 0);
+        s.at(1).instant(TraceCat::Accel, "grant", 0, 0, 0);
+        assert!(s.captures(TraceCat::Accel));
+        assert!(!s.captures(TraceCat::KvOp));
+        let part = s.take();
+        assert_eq!(part.records.len(), 1);
+        assert_eq!(part.records[0].name, "grant");
+    }
+
+    #[test]
+    fn capacity_drops_are_counted_not_evicted() {
+        let mut s = enabled(2);
+        for i in 0..5 {
+            s.at(i).instant(TraceCat::KvOp, "submit", 0, i, 0);
+        }
+        let part = s.take();
+        assert_eq!(part.records.len(), 2);
+        assert_eq!(part.records[0].a, 0);
+        assert_eq!(part.records[1].a, 1);
+        assert_eq!(part.dropped, 3);
+    }
+
+    #[test]
+    fn journal_rollback_erases_window_records() {
+        let mut s = enabled(64);
+        s.at(1).instant(TraceCat::KvOp, "keep", 0, 0, 0);
+        s.journal_begin();
+        s.at(2).instant(TraceCat::KvOp, "spec", 0, 1, 0);
+        s.at(3).instant(TraceCat::KvOp, "spec", 0, 2, 0);
+        s.journal_rollback();
+        s.at(2).instant(TraceCat::KvOp, "replay", 0, 3, 0);
+        let part = s.take();
+        assert_eq!(part.records.len(), 2);
+        assert_eq!(part.records[0].name, "keep");
+        assert_eq!(part.records[1].name, "replay");
+        // The sequence numbers rewound: the replay record reuses the
+        // rolled-back window's first seq.
+        assert_eq!(part.records[1].seq, 1);
+    }
+
+    #[test]
+    fn journal_commit_keeps_window_records() {
+        let mut s = enabled(64);
+        s.journal_begin();
+        s.at(2).instant(TraceCat::KvOp, "spec", 0, 1, 0);
+        s.journal_commit();
+        assert_eq!(s.take().records.len(), 1);
+    }
+
+    #[test]
+    fn take_keeps_sequence_running() {
+        let mut s = enabled(64);
+        s.at(1).instant(TraceCat::KvOp, "a", 0, 0, 0);
+        let _ = s.take();
+        s.at(2).instant(TraceCat::KvOp, "b", 0, 0, 0);
+        let part = s.take();
+        assert_eq!(part.records[0].seq, 1);
+    }
+}

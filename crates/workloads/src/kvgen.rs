@@ -253,6 +253,20 @@ pub struct KvRunSummary {
 }
 
 impl KvRunSummary {
+    /// Write the run counters into a metrics `node` (see
+    /// [`bluedbm_sim::MetricsRegistry`]).
+    pub fn fill_metrics(&self, node: &mut bluedbm_sim::MetricsNode) {
+        node.set("ops", self.ops);
+        node.set("puts", self.puts);
+        node.set("gets", self.gets);
+        node.set("deletes", self.deletes);
+        node.set("get_hits", self.get_hits);
+        node.set("get_misses", self.get_misses);
+        node.set("errors", self.errors);
+        node.set("digest", self.digest);
+        node.set("sim_time_ps", self.sim_time.as_ps());
+    }
+
     fn fold(&mut self, c: &KvCompletion) {
         self.ops += 1;
         match c.kind {

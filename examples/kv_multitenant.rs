@@ -7,23 +7,53 @@
 //! arbitration-independent observable (per-op results digest, op
 //! counts, leak audits) is identical across engines.
 //!
+//! Observability: per-tenant latency percentiles come from the
+//! `TenantStats` histograms, engine/node counters from the unified
+//! `MetricsRegistry` snapshot (`KvStore::metrics`), and setting
+//! `BLUEDBM_TRACE=<prefix>` captures the deterministic event trace of
+//! every run, writing `<prefix>-<engine>.bin` (binary, for `simtrace`)
+//! and `<prefix>-<engine>.json` (Chrome `trace_event`, load in
+//! Perfetto). The KV-op trace digest is asserted identical across all
+//! engines.
+//!
 //! ```text
 //! cargo run --release --example kv_multitenant            # 1M keys
 //! BLUEDBM_KV_KEYS=100000 cargo run --release --example kv_multitenant
+//! BLUEDBM_TRACE=/tmp/kvtrace cargo run --release --example kv_multitenant
 //! ```
 
 use std::time::Instant;
 
 use bluedbm::core::{Cluster, ExecMode, KvStore, SystemConfig};
+use bluedbm::sim::{TraceConfig, TraceDoc, STABLE_CATEGORIES};
+use bluedbm::trace::{binfmt, chrome};
 use bluedbm::workloads::kvgen::{kv_flash_geometry, run_requests, KvRunSummary, KvWorkloadSpec};
 
 const NODES: usize = 4;
 
-fn run(spec: &KvWorkloadSpec, shards: usize, exec: ExecMode) -> (KvRunSummary, u64, f64) {
+struct RunOut {
+    summary: KvRunSummary,
+    events: u64,
+    wall: f64,
+    /// XOR-folded digest over the arbitration-independent trace
+    /// categories; `None` when tracing is off or the ring buffers
+    /// overflowed (drop patterns are engine-dependent).
+    trace_digest: Option<u64>,
+}
+
+fn trace_prefix() -> Option<String> {
+    std::env::var("BLUEDBM_TRACE").ok().filter(|p| !p.is_empty())
+}
+
+fn run(spec: &KvWorkloadSpec, shards: usize, exec: ExecMode, slug: &str) -> RunOut {
     let mut config = SystemConfig::scaled_down();
     config.flash.geometry = kv_flash_geometry();
     config.sim.shards = shards;
     config.sim.exec = exec;
+    let tracing = trace_prefix();
+    if tracing.is_some() {
+        config.sim.trace = TraceConfig::on().with_capacity(1 << 21);
+    }
     let mut store = KvStore::new(Cluster::ring(NODES, &config).expect("cluster"));
 
     let t0 = Instant::now(); // detlint::allow(no-wallclock): reports wall time only
@@ -43,7 +73,8 @@ fn run(spec: &KvWorkloadSpec, shards: usize, exec: ExecMode) -> (KvRunSummary, u
         format!("{shards}-shard  ")
     };
     let events = store.cluster().events_delivered();
-    let rounds = match store.cluster().sync_rounds() {
+    let metrics = store.metrics();
+    let rounds = match metrics.get("engine/sync_rounds").and_then(|v| v.as_int()) {
         Some(r) => format!("  {r} sync rounds"),
         None => String::new(),
     };
@@ -55,36 +86,69 @@ fn run(spec: &KvWorkloadSpec, shards: usize, exec: ExecMode) -> (KvRunSummary, u
         events as f64 / wall / 1e6,
         summary.sim_time.as_ms_f64(),
     );
-    for tenant in 0..spec.tenants.min(4) {
+
+    // Per-tenant end-to-end latency percentiles, straight from the
+    // TenantStats histograms.
+    for tenant in 0..spec.tenants {
         let ts = store.tenant_stats(tenant);
-        let node = spec.reader(tenant);
-        let sched = store.cluster().sched_stats(node);
         println!(
-            "  tenant {tenant} @ {node}: {} puts, {} gets ({} hits), {} deletes; \
-             node sched: {} jobs, {} parked, mean wait {}",
-            ts.puts,
-            ts.gets,
+            "  tenant {tenant}: {:>8} ops  p50 {}  p99 {}  p999 {}  ({} hits, {} misses, {} errors)",
+            ts.puts + ts.gets + ts.deletes,
+            ts.latency.percentile(0.50),
+            ts.latency.percentile(0.99),
+            ts.latency.percentile(0.999),
             ts.get_hits,
-            ts.deletes,
-            sched.completed,
-            sched.parked,
-            sched.mean_wait(),
+            ts.get_misses,
+            ts.errors,
         );
     }
-    if let Some(stats) = store.cluster().shard_stats() {
-        for (shard, lane) in stats.shards.iter().enumerate() {
+
+    // Engine-level speculation/sync counters from the same snapshot
+    // (replaces the old hand-rolled ShardStats printing).
+    if let Some(engine_node) = metrics.node("engine") {
+        let lanes: Vec<&str> = engine_node
+            .keys()
+            .filter(|k| k.starts_with("shard") && engine_node.node(k).is_some())
+            .collect();
+        for shard in lanes {
+            let lane = engine_node.node(shard).expect("filtered to node entries");
+            let count = |key: &str| lane.get(key).and_then(|v| v.as_int()).unwrap_or(0);
             println!(
-                "  shard {shard}: {} committed / {} rolled-back speculative events ({} rollbacks), window {}, {} spins, {} parks",
-                lane.committed_events,
-                lane.rolled_back_events,
-                lane.rollbacks,
-                lane.window,
-                lane.spins,
-                lane.parks,
+                "  {shard}: {} committed / {} rolled-back speculative events ({} rollbacks), {} spins, {} parks",
+                count("committed_events"),
+                count("rolled_back_events"),
+                count("rollbacks"),
+                count("spins"),
+                count("parks"),
             );
         }
     }
-    (summary, events, wall)
+
+    // The full unified snapshot, dumped once (the sharded runs carry
+    // the same node subtrees plus the engine lanes printed above).
+    if slug == "seq" {
+        println!("\n  metrics snapshot:\n{}", metrics.to_json_pretty());
+    }
+
+    let trace_digest = tracing.map(|prefix| {
+        let doc = TraceDoc::merge(store.take_trace());
+        std::fs::write(format!("{prefix}-{slug}.bin"), binfmt::encode(&doc))
+            .expect("write binary trace");
+        std::fs::write(format!("{prefix}-{slug}.json"), chrome::to_chrome_json(&doc))
+            .expect("write chrome trace");
+        println!(
+            "  trace: {} records ({} dropped) -> {prefix}-{slug}.bin/.json",
+            doc.len(),
+            doc.dropped(),
+        );
+        (doc.dropped() == 0).then(|| doc.digest_stable(STABLE_CATEGORIES))
+    });
+    RunOut {
+        summary,
+        events,
+        wall,
+        trace_digest: trace_digest.flatten(),
+    }
 }
 
 fn main() {
@@ -108,29 +172,35 @@ fn main() {
         SystemConfig::scaled_down().accel.units,
     );
 
-    let (seq, seq_events, seq_wall) = run(&spec, 1, ExecMode::Auto);
-    for (shards, exec) in [
-        (2, ExecMode::Auto),
-        (4, ExecMode::Auto),
-        (2, ExecMode::Optimistic),
-        (4, ExecMode::Optimistic),
+    let seq = run(&spec, 1, ExecMode::Auto, "seq");
+    for (shards, exec, slug) in [
+        (2, ExecMode::Auto, "shard2"),
+        (4, ExecMode::Auto, "shard4"),
+        (2, ExecMode::Optimistic, "opt2"),
+        (4, ExecMode::Optimistic, "opt4"),
     ] {
-        let (sharded, events, wall) = run(&spec, shards, exec);
+        let sharded = run(&spec, shards, exec, slug);
         assert_eq!(
-            seq.digest, sharded.digest,
+            seq.summary.digest, sharded.summary.digest,
             "per-op results diverged between engines"
         );
-        assert_eq!(seq.ops, sharded.ops);
-        assert_eq!(seq_events, events, "event totals diverged between engines");
+        assert_eq!(seq.summary.ops, sharded.summary.ops);
+        assert_eq!(
+            seq.events, sharded.events,
+            "event totals diverged between engines"
+        );
+        if let (Some(a), Some(b)) = (seq.trace_digest, sharded.trace_digest) {
+            assert_eq!(a, b, "stable trace digest diverged between engines");
+        }
         println!(
             "  == conformance vs sequential: digest {:#018x} identical, speedup {:.2}x\n",
-            sharded.digest,
-            seq_wall / wall,
+            sharded.summary.digest,
+            seq.wall / sharded.wall,
         );
     }
 
     println!(
         "summary: {} hits / {} misses / {} errors across engines — bit-identical results",
-        seq.get_hits, seq.get_misses, seq.errors
+        seq.summary.get_hits, seq.summary.get_misses, seq.summary.errors
     );
 }

@@ -15,6 +15,14 @@ case "$out" in
   *) out="$(pwd)/$out" ;;
 esac
 
+# Keep the previous trajectory around as the baseline for the trace
+# overhead comparison before truncating for the fresh run.
+baseline=""
+if [ -f "$out" ]; then
+  baseline="$(mktemp)"
+  cp "$out" "$baseline"
+fi
+
 # Fresh file per run; the criterion shim appends one JSON object per line.
 mkdir -p "$(dirname "$out")"
 : > "$out"
@@ -45,6 +53,11 @@ cargo bench -p bluedbm-bench --bench sim_throughput
 
 echo "== engines: ISP functional core throughput =="
 cargo bench -p bluedbm-bench --bench engines
+
+echo "== trace: disabled-path overhead on the KV workload =="
+# shellcheck disable=SC2086
+cargo run -p bluedbm-bench --release --quiet --bin trace_overhead -- ${baseline:+"$baseline"}
+if [ -n "$baseline" ]; then rm -f "$baseline"; fi
 
 echo
 echo "results written to $out:"

@@ -40,4 +40,5 @@ pub use bluedbm_host as host;
 pub use bluedbm_isp as isp;
 pub use bluedbm_net as net;
 pub use bluedbm_sim as sim;
+pub use bluedbm_trace as trace;
 pub use bluedbm_workloads as workloads;

@@ -23,6 +23,7 @@ use proptest::prelude::*;
 
 use bluedbm::core::{Cluster, ExecMode, KvStore, NodeId, SystemConfig};
 use bluedbm::net::Topology;
+use bluedbm::trace::{TraceCat, TraceConfig, TraceDoc, ALL_CATEGORIES, STABLE_CATEGORIES};
 use bluedbm::workloads::kvgen::{run_requests, KvRunSummary, KvWorkloadSpec};
 
 /// Everything arbitration-independent a KV run exposes.
@@ -76,9 +77,28 @@ fn run(spec: &KvWorkloadSpec, cluster: Cluster, batch: usize) -> KvObservation {
     observe(&store, summary)
 }
 
+/// As [`run`], but with the trace sinks enabled: returns the merged
+/// trace document beside the observation.
+fn run_traced(spec: &KvWorkloadSpec, cluster: Cluster, batch: usize) -> (KvObservation, TraceDoc) {
+    let mut store = KvStore::new(cluster);
+    let summary = run_requests(&mut store, spec.load().chain(spec.churn()), batch);
+    store.cluster().assert_quiescent();
+    store.assert_no_stranded_pages();
+    let obs = observe(&store, summary);
+    let doc = TraceDoc::merge(store.take_trace());
+    (obs, doc)
+}
+
 fn config_with_shards(shards: usize) -> SystemConfig {
     let mut config = SystemConfig::scaled_down();
     config.sim.shards = shards;
+    config
+}
+
+fn traced_config(shards: usize, exec: ExecMode) -> SystemConfig {
+    let mut config = config_with_shards(shards);
+    config.sim.exec = exec;
+    config.sim.trace = TraceConfig::on();
     config
 }
 
@@ -178,6 +198,86 @@ fn ring4_kv_optimistic_matches_across_window_sizes() {
     }
 }
 
+#[test]
+fn trace_digest_identical_across_all_engines() {
+    // The arbitration-independent trace categories (KV op lifecycle)
+    // must XOR-fold to the same digest on every engine at every shard
+    // count — the merged trace is *observably* the same run.
+    let spec = small_spec(4);
+    let (seq_obs, seq_doc) =
+        run_traced(&spec, Cluster::ring(4, &traced_config(1, ExecMode::Auto)).unwrap(), 64);
+    assert_eq!(seq_doc.dropped(), 0, "conformance topology must fit the ring");
+    assert!(seq_doc.count(TraceCat::KvOp) > 0, "KV lifecycle must be traced");
+    assert!(seq_doc.count(TraceCat::Dispatch) > 0, "dispatch must be traced");
+    let stable = seq_doc.digest_stable(STABLE_CATEGORIES);
+    for shards in [2, 4] {
+        for exec in [ExecMode::Threads, ExecMode::Cooperative, ExecMode::Optimistic] {
+            let (obs, doc) = run_traced(
+                &spec,
+                Cluster::ring(4, &traced_config(shards, exec)).unwrap(),
+                64,
+            );
+            assert_eq!(seq_obs, obs, "{exec:?}@{shards} observation diverged");
+            assert_eq!(doc.dropped(), 0, "{exec:?}@{shards} dropped records");
+            assert_eq!(
+                doc.digest_stable(STABLE_CATEGORIES),
+                stable,
+                "{exec:?}@{shards} stable trace digest diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_reruns_are_bit_identical_per_engine() {
+    // Within one engine, the *full* digest — every field, including
+    // timestamps, shard ids and per-shard sequence numbers — pins
+    // rerun-for-rerun bit identity of the whole merged trace.
+    let spec = small_spec(4);
+    for (shards, exec) in [
+        (1, ExecMode::Auto),
+        (2, ExecMode::Threads),
+        (2, ExecMode::Cooperative),
+        (4, ExecMode::Optimistic),
+    ] {
+        let mk = || Cluster::ring(4, &traced_config(shards, exec)).unwrap();
+        let (_, a) = run_traced(&spec, mk(), 64);
+        let (_, b) = run_traced(&spec, mk(), 64);
+        assert_eq!(a.len(), b.len(), "{exec:?}@{shards} record counts diverged");
+        assert_eq!(
+            a.digest_full(ALL_CATEGORIES),
+            b.digest_full(ALL_CATEGORIES),
+            "{exec:?}@{shards} rerun trace not bit-identical"
+        );
+    }
+}
+
+#[test]
+fn threads_and_cooperative_produce_the_same_full_trace() {
+    // Threads and Cooperative execute the identical conservative round
+    // protocol, so even the engine-internal categories — dispatch
+    // instants, mailbox flushes — must match record for record.
+    let spec = small_spec(4);
+    for shards in [2, 4] {
+        let (_, t) = run_traced(
+            &spec,
+            Cluster::ring(4, &traced_config(shards, ExecMode::Threads)).unwrap(),
+            64,
+        );
+        let (_, c) = run_traced(
+            &spec,
+            Cluster::ring(4, &traced_config(shards, ExecMode::Cooperative)).unwrap(),
+            64,
+        );
+        assert_eq!(t.len(), c.len(), "{shards}-shard record counts diverged");
+        assert_eq!(
+            t.digest_full(ALL_CATEGORIES),
+            c.digest_full(ALL_CATEGORIES),
+            "{shards}-shard threads/cooperative traces diverged"
+        );
+    }
+}
+
 /// Deterministic mixer for the property test's derived choices.
 fn mix(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
@@ -223,5 +323,35 @@ proptest! {
                 "shards={shards} partition={partition:?} diverged: seq={seq:?} sharded={sharded:?}"
             );
         }
+    }
+
+    /// Turning the trace sinks on must never perturb a run: every
+    /// arbitration-independent observable of a traced run equals the
+    /// untraced run's, on both engines, for any workload seed.
+    #[test]
+    fn trace_capture_never_perturbs_results(
+        seed: u64,
+        shards in 1usize..5,
+        exec_pick in 0u8..3,
+    ) {
+        let exec = match exec_pick {
+            0 => ExecMode::Threads,
+            1 => ExecMode::Cooperative,
+            _ => ExecMode::Optimistic,
+        };
+        let mut spec = small_spec(4);
+        spec.keys_per_tenant = 40;
+        spec.churn_ops = 120;
+        spec.seed = seed;
+        let mut off_config = config_with_shards(shards);
+        off_config.sim.exec = exec;
+        let off = run(&spec, Cluster::ring(4, &off_config).unwrap(), 32);
+        let (on, doc) =
+            run_traced(&spec, Cluster::ring(4, &traced_config(shards, exec)).unwrap(), 32);
+        prop_assert!(
+            off == on,
+            "tracing perturbed the run (shards={shards} exec={exec:?}): off={off:?} on={on:?}"
+        );
+        prop_assert!(!doc.is_empty(), "enabled sinks must capture records");
     }
 }
