@@ -1,0 +1,178 @@
+//! The SSD cliff: put tail latency and write amplification as overwrite
+//! churn crosses device capacity, recorded into the benchmark
+//! trajectory.
+//!
+//! Unlike the wall-clock rows, everything here is *simulated* time and
+//! lifecycle accounting, so the rows are deterministic: a change in any
+//! `gc_cliff/...` value is a behavior change in the flash lifecycle
+//! (placement, victim policy, GC scheduling), never host noise.
+//!
+//! The sweep loads a live set at ~65% logical occupancy and then
+//! overwrite-churns it at several offered volumes (fractions of total
+//! logical capacity). Below the GC watermark the put tail is flat;
+//! past it, foreground puts absorb migration reads/programs and block
+//! erases on the shared buses — the p999 row pins how hard.
+//!
+//! Rows per churn point `F` (e.g. `2x`):
+//! * `gc_cliff/churn_{F}_p999_ns` — put p999, simulated ns
+//! * `gc_cliff/churn_{F}_p50_ns`  — put median, simulated ns
+//! * `gc_cliff/churn_{F}_wa`      — write amplification so far
+//!
+//! plus `gc_cliff/p999_degradation_x` (deepest vs calmest point) and
+//! the deepest point's `gc_cliff/erases` / `gc_cliff/relocated`.
+//!
+//! Exit code gates correctness only: the calm point must never
+//! collect, the deep point must collect with WA > 1, and every run
+//! must complete error-free. Under `BLUEDBM_BENCH_SMOKE` the sweep
+//! shrinks to two points on a 2-node ring.
+
+use std::io::Write;
+
+use bluedbm_core::{Cluster, ExecMode, KvStore, NodeId, SystemConfig};
+use bluedbm_flash::FlashGeometry;
+use bluedbm_workloads::kvgen::{KvRequest, KvWorkloadSpec};
+
+fn smoke() -> bool {
+    std::env::var("BLUEDBM_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+fn config() -> SystemConfig {
+    let mut config = SystemConfig::scaled_down();
+    // Tiny geometry so churn reaches the watermark in bench time.
+    config.flash.geometry = FlashGeometry::tiny();
+    config.sim.shards = 1;
+    config.sim.exec = ExecMode::Auto;
+    config
+}
+
+/// Overwrite-only zipfian churn over a live set at ~65% occupancy (one
+/// tiny-geometry page per value): hot keys turn over, cold keys sit
+/// valid in old blocks, so victims carry live pages.
+fn spec(nodes: usize, churn_ops: u64) -> KvWorkloadSpec {
+    KvWorkloadSpec {
+        tenants: 4,
+        keys_per_tenant: 125 * nodes as u64,
+        churn_ops,
+        read_fraction: 0.0,
+        delete_fraction: 0.0,
+        zipf_exponent: 0.99,
+        value_bytes: 400,
+        nodes,
+        seed: 0x5EED,
+    }
+}
+
+/// Submit puts and collect per-op simulated latency
+/// (`finished - submitted`, ns). A put that trips the watermark waits
+/// out its own collection, so the stall lands exactly where a tenant
+/// would see it.
+fn put_latencies(store: &mut KvStore, requests: impl Iterator<Item = KvRequest>) -> Vec<u64> {
+    let mut latencies = Vec::new();
+    let mut pending = 0usize;
+    let drain = |store: &mut KvStore, latencies: &mut Vec<u64>| {
+        for c in store.drive() {
+            assert!(c.error.is_none(), "cliff workload must not fail: {c:?}");
+            latencies.push((c.finished - c.submitted).as_ns());
+        }
+    };
+    for request in requests {
+        match request {
+            KvRequest::Put { tenant, key, value } => {
+                store.submit_put(tenant, &key, &value);
+            }
+            other => panic!("cliff driver only takes puts: {other:?}"),
+        }
+        pending += 1;
+        if pending >= 32 {
+            drain(store, &mut latencies);
+            pending = 0;
+        }
+    }
+    drain(store, &mut latencies);
+    latencies
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    sorted[((sorted.len() - 1) as f64 * p) as usize]
+}
+
+fn main() {
+    let (nodes, factors): (usize, &[(u64, u64, &str)]) = if smoke() {
+        // (numerator, denominator, label) of the churn / capacity ratio.
+        (2, &[(1, 4, "0.25x"), (2, 1, "2x")])
+    } else {
+        (4, &[(1, 4, "0.25x"), (1, 1, "1x"), (2, 1, "2x"), (3, 1, "3x")])
+    };
+
+    let capacity: u64 = {
+        let probe = Cluster::ring(nodes, &config()).expect("cluster");
+        (0..nodes).map(|n| probe.node_capacity_pages(NodeId::from(n))).sum()
+    };
+
+    let mut lines = String::new();
+    let mut tails = Vec::new();
+    let mut calm = None;
+    let mut deepest = None;
+    for &(num, den, label) in factors {
+        let churn = capacity * num / den;
+        let workload = spec(nodes, churn);
+        let mut store = KvStore::new(Cluster::ring(nodes, &config()).expect("cluster"));
+        let mut lat = put_latencies(
+            &mut store,
+            workload.load().chain(workload.churn()),
+        );
+        lat.sort_unstable();
+        let (p50, p999) = (percentile(&lat, 0.5), percentile(&lat, 0.999));
+        let gc = store.cluster().gc_stats();
+        store.cluster().assert_quiescent();
+        store.assert_no_stranded_pages();
+
+        println!(
+            "gc_cliff/churn_{label}: p50 {p50} ns, p999 {p999} ns, WA {:.3}, \
+             {} erases, {} relocated",
+            gc.wa(),
+            gc.erases,
+            gc.relocated
+        );
+        lines.push_str(&format!(
+            "{{\"id\":\"gc_cliff/churn_{label}_p999_ns\",\"value\":{p999}}}\n\
+             {{\"id\":\"gc_cliff/churn_{label}_p50_ns\",\"value\":{p50}}}\n\
+             {{\"id\":\"gc_cliff/churn_{label}_wa\",\"value\":{:.4}}}\n",
+            gc.wa()
+        ));
+        tails.push(p999);
+        calm.get_or_insert(gc);
+        deepest = Some(gc);
+    }
+
+    // Correctness gates: the calmest point must stay below the
+    // watermark, the deepest must genuinely collect.
+    let calm = calm.expect("at least one churn point");
+    assert_eq!(calm.erases, 0, "calm point must not collect: {calm:?}");
+    let deepest = deepest.expect("at least one churn point");
+    assert!(
+        deepest.erases > 0 && deepest.relocated > 0 && deepest.wa() > 1.0,
+        "deepest churn point must collect: {deepest:?}"
+    );
+    let degradation = tails[tails.len() - 1] as f64 / tails[0] as f64;
+    println!("gc_cliff/p999_degradation_x: {degradation:.2}");
+    lines.push_str(&format!(
+        "{{\"id\":\"gc_cliff/p999_degradation_x\",\"value\":{degradation:.4}}}\n\
+         {{\"id\":\"gc_cliff/erases\",\"value\":{}}}\n\
+         {{\"id\":\"gc_cliff/relocated\",\"value\":{}}}\n",
+        deepest.erases, deepest.relocated
+    ));
+    assert!(
+        degradation >= 2.0,
+        "the cliff must widen the put tail at least 2x (got {degradation:.2}x)"
+    );
+
+    if let Ok(path) = std::env::var("BLUEDBM_BENCH_JSON") {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(lines.as_bytes()))
+            .unwrap_or_else(|e| panic!("appending gc cliff rows to {path}: {e}"));
+    }
+}

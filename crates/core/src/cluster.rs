@@ -14,6 +14,7 @@ use bluedbm_flash::array::FlashArray;
 use bluedbm_flash::controller::{CtrlStats, FlashController};
 use bluedbm_flash::error::FlashError;
 use bluedbm_flash::splitter::FlashSplitter;
+use bluedbm_ftl::{Ftl, GcRound};
 use bluedbm_host::pcie::PcieLink;
 use bluedbm_net::router::{build_network, Router, RouterStats};
 use bluedbm_net::topology::{NodeId, PortId, Topology};
@@ -23,6 +24,7 @@ use bluedbm_sim::time::SimTime;
 use bluedbm_sim::{MetricsDoc, MetricsRegistry, PageRef, TracePart, WallLaneProfile};
 
 use crate::config::SystemConfig;
+use crate::gc::{GcAgent, GcAgentStats, GcKick, GcStats, LifecycleOp};
 use crate::msg::{Msg, NetBody};
 use crate::node::{AgentOp, AgentStats, Completed, Consume, NodeAgent, DATA_ENDPOINTS, REQUEST_ENDPOINT};
 use crate::scheduler::{AccelSched, SchedStats};
@@ -230,6 +232,21 @@ pub struct Cluster {
     controllers: Vec<Vec<ComponentId>>,
     /// Per-node accelerator scheduler (paper Section 4).
     scheds: Vec<ComponentId>,
+    /// Per-node GC agent executing lifecycle rounds as simulated
+    /// traffic.
+    gc_agents: Vec<ComponentId>,
+    /// Per-(node, card) mirror FTL making the GC / wear-leveling
+    /// decisions the agents execute (empty when `config.gc.enabled` is
+    /// off). Addresses handed to drivers encode *logical* pages; the
+    /// mirror's mapping table translates them at injection time.
+    mirrors: Vec<Vec<Ftl>>,
+    /// Per-(node, card) logical op log (populated under
+    /// `config.gc.log`) — the conformance suite's replay input.
+    lifecycle_log: Vec<Vec<Vec<LifecycleOp>>>,
+    /// Per-(node, card) mirror-decided GC rounds in op order (populated
+    /// under `config.gc.log`) — the conformance suite's expected victim
+    /// and relocation sequence.
+    gc_rounds_log: Vec<Vec<Vec<GcRound>>>,
     /// Node -> shard map (all zeros on the sequential engine).
     partition: Vec<u32>,
     /// Next unallocated linear page per (node, card).
@@ -297,6 +314,8 @@ impl Cluster {
         let mut scheds = Vec::with_capacity(n);
         let mut controllers = Vec::with_capacity(n);
         let mut splitters = Vec::with_capacity(n);
+        let mut gc_agents = Vec::with_capacity(n);
+        let mut mirrors = Vec::with_capacity(if config.gc.enabled { n } else { 0 });
         for (node, &node_router) in routers.iter().enumerate() {
             let mut node_ctrls = Vec::new();
             let mut node_splitters = Vec::new();
@@ -312,6 +331,31 @@ impl Cluster {
                 ));
                 node_ctrls.push(ctrl);
                 node_splitters.push(split);
+            }
+            let gc_agent = sim.add_component(GcAgent::new(
+                node as u32,
+                node_splitters.clone(),
+                config.flash.geometry,
+            ));
+            gc_agents.push(gc_agent);
+            if config.gc.enabled {
+                let mut node_mirrors = Vec::with_capacity(config.flash.cards_per_node);
+                for card in 0..config.flash.cards_per_node {
+                    // The shadow array is seeded like the card's real
+                    // array: under today's error-free factory model both
+                    // start blank with identical good-block sets, so the
+                    // mirror's physical decisions are valid verbatim on
+                    // the simulated card.
+                    let shadow = FlashArray::new(
+                        config.flash.geometry,
+                        ((0xB1DE + (node as u64)) << 8) | card as u64,
+                    );
+                    node_mirrors.push(
+                        Ftl::new(shadow, config.gc.ftl())
+                            .expect("geometry too small for the GC watermark"),
+                    );
+                }
+                mirrors.push(node_mirrors);
             }
             let link = sim.add_component(PcieLink::new(config.pcie));
             let sched = sim
@@ -351,6 +395,7 @@ impl Cluster {
                 owner[agents[node].index()] = shard;
                 owner[pcie[node].index()] = shard;
                 owner[scheds[node].index()] = shard;
+                owner[gc_agents[node].index()] = shard;
                 for c in controllers[node].iter().chain(&splitters[node]) {
                     owner[c.index()] = shard;
                 }
@@ -381,6 +426,10 @@ impl Cluster {
             agents,
             pcie,
             scheds,
+            gc_agents,
+            mirrors,
+            lifecycle_log: vec![vec![Vec::new(); config.flash.cards_per_node]; n],
+            gc_rounds_log: vec![vec![Vec::new(); config.flash.cards_per_node]; n],
             controllers,
             partition: partition.to_vec(),
             next_op: 0,
@@ -520,9 +569,11 @@ impl Cluster {
 
     /// Write the cluster's complete statistics inventory into `reg`: an
     /// `engine` scope (mode, shard count, event count, sync rounds,
-    /// per-shard speculation/wait lanes, opt-in wall profiles) and a
-    /// `nodes` scope with per-node router / agent / scheduler /
-    /// host-buffer / flash-card subtrees.
+    /// per-shard speculation/wait lanes, opt-in wall profiles), a `gc`
+    /// scope (lifecycle counters and write amplification, when the
+    /// lifecycle is enabled) and a `nodes` scope with per-node router /
+    /// agent / scheduler / GC-agent / host-buffer / flash-card
+    /// subtrees.
     pub fn fill_metrics(&self, reg: &mut MetricsRegistry) {
         let engine = reg.scope("engine");
         engine.set(
@@ -560,6 +611,9 @@ impl Cluster {
                 lane.set("execute_ns", w.execute_ns);
             }
         }
+        if self.config.gc.enabled {
+            self.gc_stats().fill_metrics(reg.scope("gc"));
+        }
         let nodes = reg.scope("nodes");
         for node in 0..self.node_count() {
             let id = NodeId::from(node);
@@ -567,6 +621,9 @@ impl Cluster {
             self.router_stats(id).fill_metrics(scope.child("router"));
             self.agent_stats(id).fill_metrics(scope.child("agent"));
             self.sched_stats(id).fill_metrics(scope.child("sched"));
+            if self.config.gc.enabled {
+                self.gc_agent_stats(id).fill_metrics(scope.child("gc_agent"));
+            }
             self.engine
                 .component::<NodeAgent>(self.agents[node])
                 .expect("agent installed")
@@ -605,6 +662,14 @@ impl Cluster {
     /// within a card so sequential allocations exploit the device's full
     /// parallelism (the same discipline the FTL uses).
     ///
+    /// With the flash lifecycle live (`config.gc.enabled`, the default)
+    /// the address returned encodes a **logical** page: the mirror FTL
+    /// picks the physical cell at write time and may move it later
+    /// during collection, and every injection path translates through
+    /// the mapping table. Capacity is then the FTL's exported logical
+    /// capacity (good pages minus over-provision and watermark reserve),
+    /// not the raw cell count — the slack is what GC reclaims into.
+    ///
     /// # Errors
     ///
     /// [`ClusterError::DeviceFull`] when every card is exhausted.
@@ -614,6 +679,22 @@ impl Cluster {
             return Ok(addr);
         }
         let geom = self.config.flash.geometry;
+        if self.config.gc.enabled {
+            let mirrors = &self.mirrors[node.index()];
+            let cards = &mut self.bump[node.index()];
+            let card = (0..cards.len())
+                .filter(|&c| cards[c] < mirrors[c].capacity_pages() as usize)
+                .min_by_key(|&c| cards[c])
+                .ok_or(ClusterError::DeviceFull(node))?;
+            let lba = cards[card];
+            cards[card] += 1;
+            self.pages_in_use += 1;
+            return Ok(GlobalPageAddr {
+                node,
+                card: card as u8,
+                ppa: geom.ppa_of(lba),
+            });
+        }
         let cards = &mut self.bump[node.index()];
         let card = (0..cards.len())
             .min_by_key(|&c| cards[c])
@@ -657,12 +738,29 @@ impl Cluster {
     /// Panics if more pages are freed than were ever allocated (a
     /// double-free somewhere).
     pub fn free_page(&mut self, addr: GlobalPageAddr) -> Result<(), ClusterError> {
-        let ctrl = self.controllers[addr.node.index()][addr.card as usize];
-        self.engine
-            .component_mut::<FlashController>(ctrl)
-            .expect("controller installed")
-            .array_mut()
-            .trim(addr.ppa)?;
+        if self.config.gc.enabled {
+            // Lifecycle mode: a free is a logical trim. The mirror
+            // unmaps the lba (marking the physical cell stale and
+            // reclaimable); the simulated array keeps the stale bits
+            // until the block's erase, exactly like the mirror's shadow
+            // — the two stay program-bitmap lockstep.
+            let node = addr.node.index();
+            let card = addr.card as usize;
+            let lba = self.config.flash.geometry.linear_of(addr.ppa) as u64;
+            if self.config.gc.log {
+                self.lifecycle_log[node][card].push(LifecycleOp::Trim(lba));
+            }
+            self.mirrors[node][card]
+                .step_trim(lba)
+                .expect("freed address outside the mirror's logical space");
+        } else {
+            let ctrl = self.controllers[addr.node.index()][addr.card as usize];
+            self.engine
+                .component_mut::<FlashController>(ctrl)
+                .expect("controller installed")
+                .array_mut()
+                .trim(addr.ppa)?;
+        }
         self.pages_in_use = self
             .pages_in_use
             .checked_sub(1)
@@ -677,6 +775,140 @@ impl Cluster {
     /// this to catch stranded extents.
     pub fn flash_pages_in_use(&self) -> u64 {
         self.pages_in_use
+    }
+
+    /// Translate a driver-visible (logical) address into the physical
+    /// cell the mirror FTL currently maps it to. Identity when the
+    /// lifecycle is disabled, and for unmapped logical pages — an
+    /// unwritten page then reads as `NotProgrammed`, matching the
+    /// GC-off contract.
+    fn resolve(&self, addr: GlobalPageAddr) -> GlobalPageAddr {
+        if !self.config.gc.enabled {
+            return addr;
+        }
+        let lba = self.config.flash.geometry.linear_of(addr.ppa) as u64;
+        match self.mirrors[addr.node.index()][addr.card as usize].physical_of(lba) {
+            Some(ppa) => GlobalPageAddr { ppa, ..addr },
+            None => addr,
+        }
+    }
+
+    /// Mirror-FTL write replay for one logical page: step the mapping
+    /// table and, when the write tripped a free-block watermark, execute
+    /// the resulting collection rounds as simulated flash traffic before
+    /// returning the physical program target.
+    fn step_mirror_write(&mut self, node: NodeId, card: u8, lba: u64) -> bluedbm_flash::Ppa {
+        let n = node.index();
+        let c = card as usize;
+        if self.config.gc.log {
+            self.lifecycle_log[n][c].push(LifecycleOp::Write(lba));
+        }
+        // Allocation is gated on the mirror's exported capacity, so the
+        // policy can always make room: NoSpace here is a logic bug, not
+        // an operational condition.
+        let outcome = self.mirrors[n][c]
+            .step_write(lba)
+            .expect("mirror FTL out of space despite capacity-gated allocation");
+        if !outcome.gc.is_empty() {
+            if self.config.gc.log {
+                self.gc_rounds_log[n][c].extend(outcome.gc.iter().cloned());
+            }
+            self.run_gc(node, card, outcome.gc);
+        }
+        outcome.target
+    }
+
+    /// Execute mirror-decided collection rounds on `node`/`card` as
+    /// simulated commands, stop-the-world: first drain in-flight
+    /// foreground traffic (whose physical targets were resolved against
+    /// the pre-collection mapping), then let the node's [`GcAgent`] run
+    /// the relocation reads/programs and erases through the shared
+    /// splitter and buses. The simulated clock advances across both
+    /// drains — that stall is precisely the GC pressure tenants observe.
+    fn run_gc(&mut self, node: NodeId, card: u8, rounds: Vec<GcRound>) {
+        self.engine.run();
+        let agent = self.gc_agents[node.index()];
+        self.engine
+            .component_mut::<GcAgent>(agent)
+            .expect("GC agent installed")
+            .push_job(card, rounds);
+        self.engine.schedule(SimTime::ZERO, agent, GcKick);
+        self.engine.run();
+    }
+
+    /// Cluster-wide flash lifecycle accounting, aggregated over every
+    /// card's mirror FTL: host programs vs GC relocation programs (the
+    /// write-amplification numerator), victim erases, relocated pages,
+    /// and the widest per-card erase-count spread the wear leveler is
+    /// holding down. All zeros when `config.gc.enabled` is off.
+    pub fn gc_stats(&self) -> GcStats {
+        let mut total = GcStats::default();
+        for node in &self.mirrors {
+            for mirror in node {
+                let stats = mirror.stats();
+                total.host_writes += stats.host_writes;
+                total.gc_writes += stats.flash_writes - stats.host_writes;
+                total.erases += stats.gc_erases;
+                total.relocated += stats.gc_moves;
+                let spread = mirror.array().max_wear() - mirror.array().min_wear();
+                total.wear_spread = total.wear_spread.max(spread);
+            }
+        }
+        total
+    }
+
+    /// Per-node GC agent statistics: rounds/moves/erases this node has
+    /// executed as simulated traffic (preload-time functional rounds are
+    /// accounted only in the mirror's policy totals).
+    pub fn gc_agent_stats(&self, node: NodeId) -> &GcAgentStats {
+        self.engine
+            .component::<GcAgent>(self.gc_agents[node.index()])
+            .expect("GC agent installed")
+            .stats()
+    }
+
+    /// Logical page capacity of `node` across its cards: the mirror
+    /// FTL's exported capacity under the lifecycle, the raw cell count
+    /// otherwise.
+    pub fn node_capacity_pages(&self, node: NodeId) -> u64 {
+        if self.config.gc.enabled {
+            self.mirrors[node.index()].iter().map(Ftl::capacity_pages).sum()
+        } else {
+            (self.config.flash.cards_per_node * self.config.flash.geometry.total_pages()) as u64
+        }
+    }
+
+    /// The mirror FTL of one card (lifecycle mode only) — the
+    /// conformance suite compares its mapping table and stats against an
+    /// offline twin.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config.gc.enabled` is off.
+    pub fn mirror(&self, node: NodeId, card: usize) -> &Ftl {
+        &self.mirrors[node.index()][card]
+    }
+
+    /// The simulated flash array of one card — the conformance suite
+    /// checks its programmed bitmap and erase counts against the
+    /// mirror's shadow.
+    pub fn card_array(&self, node: NodeId, card: usize) -> &FlashArray {
+        self.engine
+            .component::<FlashController>(self.controllers[node.index()][card])
+            .expect("controller installed")
+            .array()
+    }
+
+    /// The logical lifecycle ops recorded for one card (empty unless
+    /// `config.gc.log`).
+    pub fn lifecycle_log(&self, node: NodeId, card: usize) -> &[LifecycleOp] {
+        &self.lifecycle_log[node.index()][card]
+    }
+
+    /// The mirror-decided GC rounds recorded for one card, in op order
+    /// (empty unless `config.gc.log`).
+    pub fn gc_rounds_log(&self, node: NodeId, card: usize) -> &[GcRound] {
+        &self.gc_rounds_log[node.index()][card]
     }
 
     fn op_id(&mut self) -> u64 {
@@ -749,6 +981,47 @@ impl Cluster {
         data: &[u8],
     ) -> Result<GlobalPageAddr, ClusterError> {
         let addr = self.alloc_page(node)?;
+        if self.config.gc.enabled {
+            // Preload skips simulated time but not the lifecycle: the
+            // mirror steps exactly as for a simulated write, and any
+            // collection rounds it decides are applied *functionally* to
+            // the card's array (relocation copies and victim erases with
+            // no simulated latency), keeping the two program bitmaps in
+            // lockstep for later simulated traffic.
+            let geom = self.config.flash.geometry;
+            let lba = geom.linear_of(addr.ppa) as u64;
+            let n = node.index();
+            let c = addr.card as usize;
+            if self.config.gc.log {
+                self.lifecycle_log[n][c].push(LifecycleOp::Write(lba));
+            }
+            let outcome = self.mirrors[n][c]
+                .step_write(lba)
+                .expect("mirror FTL out of space despite capacity-gated allocation");
+            if self.config.gc.log {
+                self.gc_rounds_log[n][c].extend(outcome.gc.iter().cloned());
+            }
+            let ctrl = self.controllers[n][c];
+            let array = self
+                .engine
+                .component_mut::<FlashController>(ctrl)
+                .expect("controller installed")
+                .array_mut();
+            let mut buf = vec![0u8; geom.page_bytes];
+            for round in &outcome.gc {
+                for &(src, dst) in &round.moves {
+                    if array.page_has_data(src) {
+                        array.read_into(src, &mut buf)?;
+                        array.program(dst, &buf)?;
+                    } else {
+                        array.program_blank(dst)?;
+                    }
+                }
+                array.erase(round.victim)?;
+            }
+            array.program(outcome.target, data)?;
+            return Ok(addr);
+        }
         let ctrl = self.controllers[node.index()][addr.card as usize];
         let programmed = self
             .engine
@@ -802,6 +1075,7 @@ impl Cluster {
         consume: Consume,
     ) -> Result<CompletedRead, ClusterError> {
         let op_id = self.op_id();
+        let addr = self.resolve(addr);
         let done = self.run_one(
             reader,
             AgentOp::ReadFlash {
@@ -867,6 +1141,7 @@ impl Cluster {
     /// completion.
     pub fn inject_read(&mut self, reader: NodeId, addr: GlobalPageAddr, consume: Consume) -> u64 {
         let op_id = self.op_id();
+        let addr = self.resolve(addr);
         self.engine.schedule(
             SimTime::ZERO,
             self.agents[reader.index()],
@@ -896,6 +1171,17 @@ impl Cluster {
     ) -> Result<(u64, GlobalPageAddr), ClusterError> {
         let addr = self.alloc_page(node)?;
         let op_id = self.op_id();
+        // Lifecycle mode: replay the write against the mirror FTL first.
+        // If it trips a watermark the collection runs to completion as
+        // simulated traffic *before* this program is scheduled — the
+        // foreground write waits out its own GC, like on a real device.
+        let target = if self.config.gc.enabled {
+            let lba = self.config.flash.geometry.linear_of(addr.ppa) as u64;
+            let ppa = self.step_mirror_write(node, addr.card, lba);
+            GlobalPageAddr { ppa, ..addr }
+        } else {
+            addr
+        };
         let page_bytes = self.config.flash.geometry.page_bytes;
         debug_assert!(data.len() <= page_bytes);
         let buffer = if data.len() == page_bytes {
@@ -910,7 +1196,7 @@ impl Cluster {
             self.agents[node.index()],
             AgentOp::WriteFlash {
                 op_id,
-                addr,
+                addr: target,
                 data: buffer,
             },
         );
@@ -940,6 +1226,7 @@ impl Cluster {
     ) -> Vec<Completed> {
         for &addr in addrs {
             let op_id = self.op_id();
+            let addr = self.resolve(addr);
             self.engine.schedule(
                 SimTime::ZERO,
                 self.agents[reader.index()],
@@ -1205,7 +1492,10 @@ mod tests {
         let a = cluster.alloc_page(NodeId(0)).unwrap();
         let b = cluster.alloc_page(NodeId(0)).unwrap();
         assert_ne!(a.card, b.card, "round-robin across the two cards");
-        let total = 2 * config.flash.geometry.total_pages();
+        // Logical capacity under the lifecycle: good pages minus the
+        // over-provision and watermark reserve GC reclaims into.
+        let total = cluster.node_capacity_pages(NodeId(0)) as usize;
+        assert!(total < 2 * config.flash.geometry.total_pages());
         for _ in 2..total {
             cluster.alloc_page(NodeId(0)).unwrap();
         }

@@ -141,6 +141,59 @@ impl AccelConfig {
     }
 }
 
+/// Flash lifecycle management: per-card mirror FTLs drive garbage
+/// collection, wear leveling and write-amplification accounting inside
+/// the event-driven simulation (paper Section 4 — BlueDBM's raw flash
+/// pushes the FTL into the driver).
+///
+/// When enabled, the cluster's driver-visible page addresses become
+/// *logical*: each card keeps a [`bluedbm_ftl::Ftl`] mirror that maps
+/// them to physical pages, and a per-node [`crate::gc::GcAgent`]
+/// executes the mirror's GC rounds (valid-page migration reads/programs
+/// and block erases) as ordinary simulated commands on the same buses
+/// and controllers as foreground traffic. Disabled, the cluster falls
+/// back to the historical physical bump allocator with magic TRIM —
+/// useful for pinning what GC costs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GcConfig {
+    /// Run the DES flash lifecycle (mirror FTLs + GC agents).
+    pub enabled: bool,
+    /// Over-provisioned fraction withheld from the exported space.
+    pub over_provision: f64,
+    /// Per-plane free-block watermark that triggers collection.
+    pub gc_watermark: usize,
+    /// Erase-count spread beyond which wear leveling picks victims.
+    pub wear_threshold: u64,
+    /// Record each card's logical op log and executed GC rounds so the
+    /// conformance suite can replay them into an offline twin. Memory
+    /// grows with the op count — leave off outside tests.
+    pub log: bool,
+}
+
+impl GcConfig {
+    /// The lifecycle knobs as an offline-[`bluedbm_ftl::Ftl`] config.
+    pub fn ftl(&self) -> bluedbm_ftl::FtlConfig {
+        bluedbm_ftl::FtlConfig {
+            over_provision: self.over_provision,
+            gc_watermark: self.gc_watermark,
+            wear_threshold: self.wear_threshold,
+        }
+    }
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        let ftl = bluedbm_ftl::FtlConfig::default();
+        GcConfig {
+            enabled: true,
+            over_provision: ftl.over_provision,
+            gc_watermark: ftl.gc_watermark,
+            wear_threshold: ftl.wear_threshold,
+            log: false,
+        }
+    }
+}
+
 /// How the simulation itself executes (not a property of the modelled
 /// hardware — changing it must never change observable results).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -224,6 +277,8 @@ pub struct SystemConfig {
     pub power: PowerModel,
     /// Shared accelerator units per node (Section 4 scheduling).
     pub accel: AccelConfig,
+    /// Flash lifecycle (GC / wear leveling) knobs.
+    pub gc: GcConfig,
     /// Simulation-engine execution knobs.
     pub sim: SimConfig,
 }
@@ -244,6 +299,7 @@ impl SystemConfig {
             baseline: BaselineDevices::paper(),
             power: PowerModel::paper(),
             accel: AccelConfig::paper(),
+            gc: GcConfig::default(),
             sim: SimConfig::sequential(),
         }
     }

@@ -22,7 +22,13 @@
 //!   gating in-store accelerator work and as an offline calculator;
 //! * [`kvstore`] — the concurrent multi-tenant key-value workload
 //!   engine: async op submission, per-key FIFO consistency, windowed
-//!   injection, extent free-lists with a stranded-page audit.
+//!   injection, extent free-lists with a stranded-page audit;
+//! * [`gc`] — the flash lifecycle inside the simulation: per-card
+//!   mirror FTLs decide garbage collection and wear leveling, and a
+//!   per-node [`gc::GcAgent`] executes the migration reads/programs and
+//!   block erases as ordinary simulated commands, so GC pressure shows
+//!   up in tenant tail latency and [`cluster::Cluster::gc_stats`]
+//!   reports erase counts and write amplification.
 //!
 //! ## Example
 //!
@@ -44,6 +50,7 @@
 pub mod baselines;
 pub mod cluster;
 pub mod config;
+pub mod gc;
 pub mod kvstore;
 pub mod msg;
 pub mod node;
@@ -52,8 +59,9 @@ pub mod power;
 pub mod scheduler;
 
 pub use cluster::{Cluster, CompletedRead, GlobalPageAddr};
+pub use gc::{GcAgent, GcAgentStats, GcStats, LifecycleOp};
 pub use msg::{Msg, NetBody};
-pub use config::SystemConfig;
+pub use config::{GcConfig, SystemConfig};
 pub use kvstore::{KvCompletion, KvOpId, KvOpKind, KvStore, TenantId, TenantStats};
 pub use paths::{AccessPath, LatencyBreakdown};
 pub use power::PowerModel;

@@ -65,6 +65,7 @@ use bluedbm_sim::pool::PoolRef;
 use bluedbm_sim::shard::ShardMessage;
 use bluedbm_sim::{PageRef, PageStore, PoolStore};
 
+use crate::gc::GcKick;
 use crate::node::{AgentOp, DramServed, RemoteReq, RemoteResp};
 use crate::scheduler::{SchedDone, SchedFree, SchedSubmit};
 
@@ -116,6 +117,8 @@ pub enum Msg {
     SchedFree(SchedFree),
     /// Accelerator job completion (scheduler → requester).
     SchedDone(SchedDone),
+    /// Wake a node's GC agent: a mirror FTL queued lifecycle rounds.
+    GcKick(GcKick),
 }
 
 /// The fast-path size budget: one [`Msg`] must fit a 64-byte cache
@@ -191,6 +194,13 @@ impl From<SchedDone> for Msg {
     #[inline]
     fn from(m: SchedDone) -> Self {
         Msg::SchedDone(m)
+    }
+}
+
+impl From<GcKick> for Msg {
+    #[inline]
+    fn from(m: GcKick) -> Self {
+        Msg::GcKick(m)
     }
 }
 
@@ -339,6 +349,8 @@ impl ShardMessage for Msg {
             // the cluster partition, but arbitrary partitions stay
             // correct).
             Msg::SchedSubmit(_) | Msg::SchedDone(_) => Luggage::None,
+            // Driver → node-pinned GC agent; carries no payload.
+            Msg::GcKick(_) => Luggage::None,
             // Self-sends by contract: a partition can never split a
             // component from itself, so these crossing a shard boundary
             // is a wiring bug.

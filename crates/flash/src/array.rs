@@ -439,10 +439,43 @@ impl FlashArray {
         Ok(())
     }
 
+    /// Program one page **without storing data** — the blank-shadow mode
+    /// used by the offline FTL twin (`bluedbm_ftl`) when it mirrors a
+    /// simulated device: the programmed bitmap, the program-once
+    /// discipline, and the wear counters are modelled exactly, but no
+    /// page bytes or ECC parity are stored, so a shadow array costs only
+    /// its per-block bitmaps. A blank-programmed page reads back as
+    /// [`FlashError::NotProgrammed`] (it holds no bytes) while
+    /// [`FlashArray::is_programmed`] reports `true`; use
+    /// [`FlashArray::page_has_data`] to tell the two apart.
+    ///
+    /// # Errors
+    ///
+    /// Address errors as for [`FlashArray::program`], and
+    /// [`FlashError::AlreadyProgrammed`] if the page is already
+    /// programmed (with or without data).
+    pub fn program_blank(&mut self, ppa: Ppa) -> Result<(), FlashError> {
+        self.check(ppa)?;
+        let bi = self.block_index(ppa);
+        if self.blocks[bi].programmed[ppa.page as usize] {
+            return Err(FlashError::AlreadyProgrammed(ppa));
+        }
+        self.journal_block(bi);
+        self.blocks[bi].programmed[ppa.page as usize] = true;
+        self.stats.programs += 1;
+        Ok(())
+    }
+
     /// `true` if the page currently holds data.
     pub fn is_programmed(&self, ppa: Ppa) -> bool {
         self.geometry.contains(ppa)
             && self.blocks[self.block_index(ppa)].programmed[ppa.page as usize]
+    }
+
+    /// `true` if the page holds stored bytes — i.e. it was programmed via
+    /// [`FlashArray::program`], not [`FlashArray::program_blank`].
+    pub fn page_has_data(&self, ppa: Ppa) -> bool {
+        self.geometry.contains(ppa) && self.pages.contains_key(&self.geometry.linear_of(ppa))
     }
 
     /// Erase cycles endured by the block containing `ppa`.
@@ -724,6 +757,44 @@ mod tests {
         a.checkpoint_commit();
         assert_eq!(replay_a, replay_b, "replayed speculation diverged");
         assert_eq!(a.stats(), replay_b);
+    }
+
+    #[test]
+    fn blank_programs_track_the_bitmap_but_store_no_bytes() {
+        let mut a = tiny();
+        let ppa = Ppa::new(0, 0, 1, 2);
+        a.program_blank(ppa).unwrap();
+        assert!(a.is_programmed(ppa));
+        assert!(!a.page_has_data(ppa));
+        assert_eq!(a.stats().programs, 1);
+        // Program-once discipline applies to blank programs too.
+        assert_eq!(a.program_blank(ppa), Err(FlashError::AlreadyProgrammed(ppa)));
+        assert_eq!(
+            a.program(ppa, &page_of(&a, 1)),
+            Err(FlashError::AlreadyProgrammed(ppa))
+        );
+        // Reads see no bytes.
+        assert_eq!(a.read(ppa), Err(FlashError::NotProgrammed(ppa)));
+        // Trim and erase recycle blank pages like data pages.
+        a.trim(ppa).unwrap();
+        assert!(!a.is_programmed(ppa));
+        a.program(ppa, &page_of(&a, 7)).unwrap();
+        assert!(a.page_has_data(ppa));
+        a.erase(ppa).unwrap();
+        assert!(!a.is_programmed(ppa));
+        assert_eq!(a.erase_count(ppa), 1);
+    }
+
+    #[test]
+    fn blank_programs_roll_back_with_the_journal() {
+        let mut a = tiny();
+        let ppa = Ppa::new(1, 0, 0, 0);
+        a.checkpoint_begin();
+        a.program_blank(ppa).unwrap();
+        assert!(a.is_programmed(ppa));
+        a.checkpoint_rollback();
+        assert!(!a.is_programmed(ppa));
+        assert_eq!(a.stats().programs, 0);
     }
 
     #[test]

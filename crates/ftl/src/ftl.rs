@@ -15,6 +15,37 @@
 //!   threshold, GC prefers the *coldest* block so long-lived data rotates
 //!   onto worn blocks;
 //! * **TRIM** and write-amplification accounting.
+//!
+//! # The twin-replay API
+//!
+//! Beyond the classic `write`/`read`/`trim` surface, the FTL doubles as
+//! the **policy oracle for the event-driven simulation**: the cluster
+//! keeps one `Ftl` per simulated flash card as a *mirror* and asks it,
+//! synchronously, what the lifecycle of each host operation should be.
+//!
+//! * [`Ftl::step_write`] replays one host write **without data**: it runs
+//!   the identical allocation / GC / wear-leveling policy as
+//!   [`Ftl::write`], but programs the shadow array with
+//!   [`FlashArray::program_blank`] (bitmaps and wear only — no page
+//!   bytes, no ECC), and returns a [`StepOutcome`]: the physical
+//!   destination of the host page plus every [`GcRound`] (victim block,
+//!   valid-page relocations in policy order, wear-leveling flag) that ran
+//!   to make room. The simulation then executes those rounds as ordinary
+//!   bus/chip commands so GC pressure lands on foreground latency, while
+//!   the conformance suite replays the same op log into a fresh twin and
+//!   checks that mappings, victim sequence, erase counts and write
+//!   amplification all agree bit for bit.
+//! * [`Ftl::step_trim`] is the replay twin of [`Ftl::trim`]; it also
+//!   reports which physical page the trimmed logical page occupied.
+//!
+//! Victim selection and relocation order are pure functions of the
+//! logical op sequence (no randomness, no wall clock, no dependence on
+//! simulated timing), which is what makes the mirror usable as a
+//! cross-engine determinism oracle. Data-carrying and blank pages can
+//! mix freely in one `Ftl`: GC relocates whichever kind it finds
+//! ([`FlashArray::page_has_data`] decides per page), so a full-data twin
+//! and a blank mirror driven with the same op sequence make identical
+//! policy decisions.
 
 use std::collections::VecDeque;
 
@@ -78,6 +109,31 @@ impl FtlStats {
     }
 }
 
+/// One garbage-collection round recorded by the [twin-replay
+/// API](crate#the-twin-replay-api): which block was compacted and every
+/// valid-page relocation compaction forced, in policy order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GcRound {
+    /// The erased victim block, addressed at page 0.
+    pub victim: Ppa,
+    /// Valid-page relocations `(from, to)` in the order the policy
+    /// issued them.
+    pub moves: Vec<(Ppa, Ppa)>,
+    /// Whether the victim was picked under wear-leveling pressure
+    /// (coldest block) rather than by fewest-valid-pages.
+    pub wear_leveling: bool,
+}
+
+/// What one replayed host write did: where the page landed and which GC
+/// rounds ran, in order, to make room for it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Physical destination of the host page.
+    pub target: Ppa,
+    /// GC rounds that ran before the host program (usually empty).
+    pub gc: Vec<GcRound>,
+}
+
 /// Per-(bus, chip) allocation state.
 #[derive(Clone, Debug)]
 struct Plane {
@@ -104,6 +160,9 @@ pub struct Ftl {
     next_plane: usize,
     capacity: u64,
     stats: FtlStats,
+    /// GC rounds run by the most recent write (cleared at the start of
+    /// every write; drained by [`Ftl::step_write`]).
+    rounds: Vec<GcRound>,
 }
 
 impl Ftl {
@@ -160,6 +219,7 @@ impl Ftl {
             array,
             config,
             stats: FtlStats::default(),
+            rounds: Vec::new(),
         })
     }
 
@@ -235,6 +295,7 @@ impl Ftl {
                 want: self.page_bytes(),
             });
         }
+        self.rounds.clear();
         self.stats.host_writes += 1;
         let pi = self.next_plane;
         self.next_plane = (self.next_plane + 1) % self.planes.len();
@@ -244,6 +305,56 @@ impl Ftl {
         self.invalidate(lba);
         self.map(lba, ppa);
         Ok(())
+    }
+
+    /// Replay one host write without data (the [twin-replay
+    /// API](crate#the-twin-replay-api)): identical allocation / GC /
+    /// wear-leveling decisions to [`Ftl::write`], but the shadow array is
+    /// programmed blank — bitmaps and wear only, no page bytes.
+    ///
+    /// Returns where the host page landed and every GC round that ran to
+    /// make room, in order, so a simulation can execute the same
+    /// lifecycle as timed commands.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ftl::write`], minus the page-size check.
+    pub fn step_write(&mut self, lba: u64) -> Result<StepOutcome, FtlError> {
+        self.check_lba(lba)?;
+        self.rounds.clear();
+        self.stats.host_writes += 1;
+        let pi = self.next_plane;
+        self.next_plane = (self.next_plane + 1) % self.planes.len();
+        let ppa = self.alloc_for_host(pi)?;
+        self.array.program_blank(ppa)?;
+        self.stats.flash_writes += 1;
+        self.invalidate(lba);
+        self.map(lba, ppa);
+        Ok(StepOutcome {
+            target: ppa,
+            gc: std::mem::take(&mut self.rounds),
+        })
+    }
+
+    /// Replay twin of [`Ftl::trim`]: drop the mapping for `lba` and
+    /// report which physical page it occupied (`None` if it was never
+    /// written or already trimmed).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::LbaOutOfRange`] on a bad address.
+    pub fn step_trim(&mut self, lba: u64) -> Result<Option<Ppa>, FtlError> {
+        self.check_lba(lba)?;
+        let old = self.l2p[lba as usize];
+        self.invalidate(lba);
+        self.stats.trims += 1;
+        Ok(old)
+    }
+
+    /// GC rounds run by the most recent [`Ftl::write`] (empty after
+    /// [`Ftl::step_write`], which hands its rounds to the caller).
+    pub fn last_gc_rounds(&self) -> &[GcRound] {
+        &self.rounds
     }
 
     fn map(&mut self, lba: u64, ppa: Ppa) {
@@ -294,10 +405,7 @@ impl Ftl {
     ///
     /// [`FtlError::LbaOutOfRange`] on a bad address.
     pub fn trim(&mut self, lba: u64) -> Result<(), FtlError> {
-        self.check_lba(lba)?;
-        self.invalidate(lba);
-        self.stats.trims += 1;
-        Ok(())
+        self.step_trim(lba).map(|_| ())
     }
 
     /// Allocate a destination page for a host write in plane `pi`,
@@ -386,28 +494,41 @@ impl Ftl {
         if wear_leveling {
             self.stats.wear_swaps += 1;
         }
+        let mut round = GcRound {
+            victim: Ppa::new(bus, chip, victim, 0),
+            moves: Vec::new(),
+            wear_leveling,
+        };
 
         // Relocate valid pages *within the plane*: the per-plane reserve
         // block guarantees a destination, and staying local avoids
         // cross-plane GC ping-pong (a victim always has fewer valid pages
-        // than one whole block, so reclamation is net-positive).
+        // than one whole block, so reclamation is net-positive). Pages
+        // may carry data (the classic path) or be blank replay shadows;
+        // relocation preserves whichever kind it finds.
         for page in 0..pages_per_block {
             let src = Ppa::new(bus, chip, victim, page);
             let linear = geom.linear_of(src);
             let Some(lba) = self.p2l[linear] else {
                 continue;
             };
-            let data = self.array.read(src)?.data;
             let dst = self.alloc_in_plane(pi).ok_or(FtlError::NoSpace)?;
-            self.array.program(dst, &data)?;
+            if self.array.page_has_data(src) {
+                let data = self.array.read(src)?.data;
+                self.array.program(dst, &data)?;
+            } else {
+                self.array.program_blank(dst)?;
+            }
             self.stats.flash_writes += 1;
             self.stats.gc_moves += 1;
             self.invalidate(lba);
             self.map(lba, dst);
+            round.moves.push((src, dst));
         }
         self.array.erase(Ppa::new(bus, chip, victim, 0))?;
         self.stats.gc_erases += 1;
         self.planes[pi].free.push_back(victim);
+        self.rounds.push(round);
         Ok(true)
     }
 }
@@ -591,6 +712,133 @@ mod tests {
         for lba in (0..cold).step_by(7) {
             assert_eq!(ftl.read(lba).unwrap(), page(&ftl, lba));
         }
+    }
+
+    /// The wear-leveling victim comparator has two arms: a strictly
+    /// colder block wins outright, and on an exact wear tie the block
+    /// with fewer valid pages wins. Construct both cases explicitly.
+    #[test]
+    fn wear_tie_break_prefers_fewer_valid_pages() {
+        let geom = FlashGeometry::tiny();
+        let config = FtlConfig {
+            wear_threshold: 1,
+            ..FtlConfig::default()
+        };
+        // Logical pages currently mapped into plane-0 `block`.
+        fn in_block(ftl: &Ftl, block: u32) -> Vec<u64> {
+            (0..128)
+                .filter(|&lba| {
+                    let p = ftl.physical_of(lba).unwrap();
+                    (p.bus, p.chip, p.block) == (0, 0, block)
+                })
+                .collect()
+        }
+        // 128 round-robin writes fill exactly blocks 0 and 1 of each of
+        // the four planes, so plane 0 has two closed candidate blocks.
+        fn fill(mut array: FlashArray, config: FtlConfig) -> Ftl {
+            // Pre-wear a block in another plane so the array-wide spread
+            // exceeds the threshold and wear leveling is active.
+            for _ in 0..5 {
+                array.erase(Ppa::new(1, 1, 7, 0)).unwrap();
+            }
+            let mut ftl = Ftl::new(array, config).unwrap();
+            for lba in 0..128 {
+                let data = page(&ftl, lba);
+                ftl.write(lba, &data).unwrap();
+            }
+            ftl
+        }
+
+        // Exact tie: blocks 0 and 1 both have erase count 0; block 1 has
+        // fewer valid pages and must win the tie.
+        let mut ftl = fill(FlashArray::new(geom, 7), config);
+        let (b0, b1) = (in_block(&ftl, 0), in_block(&ftl, 1));
+        assert_eq!((b0.len(), b1.len()), (16, 16));
+        ftl.trim(b0[0]).unwrap(); // block 0: 15 valid
+        for &lba in &b1[..4] {
+            ftl.trim(lba).unwrap(); // block 1: 12 valid
+        }
+        assert!(ftl.collect_one(0).unwrap());
+        let round = ftl.rounds.last().unwrap();
+        assert!(round.wear_leveling);
+        assert_eq!(
+            round.victim,
+            Ppa::new(0, 0, 1, 0),
+            "wear tie must break toward the emptier block"
+        );
+        assert_eq!(round.moves.len(), 12);
+        assert_eq!(ftl.stats().wear_swaps, 1);
+
+        // Strictly colder wins even against a much emptier warmer block:
+        // block 1 is pre-worn and nearly empty, block 0 is cold and
+        // fully valid — the cold block is still the victim.
+        let mut array = FlashArray::new(geom, 7);
+        for _ in 0..2 {
+            array.erase(Ppa::new(0, 0, 1, 0)).unwrap();
+        }
+        let mut ftl = fill(array, config);
+        let b1 = in_block(&ftl, 1);
+        for &lba in &b1[..14] {
+            ftl.trim(lba).unwrap(); // block 1: 2 valid, block 0: 16 valid
+        }
+        assert!(ftl.collect_one(0).unwrap());
+        let round = ftl.rounds.last().unwrap();
+        assert!(round.wear_leveling);
+        assert_eq!(
+            round.victim,
+            Ppa::new(0, 0, 0, 0),
+            "the colder block wins outright"
+        );
+        assert_eq!(round.moves.len(), 16);
+    }
+
+    /// The twin-replay contract: a blank mirror driven by `step_write` /
+    /// `step_trim` makes the identical policy decisions as a full-data
+    /// FTL fed the same logical op sequence.
+    #[test]
+    fn blank_step_replay_matches_the_data_path() {
+        use bluedbm_sim::rng::Rng;
+        let config = FtlConfig {
+            wear_threshold: 4,
+            ..FtlConfig::default()
+        };
+        let mut data_ftl =
+            Ftl::new(FlashArray::new(FlashGeometry::small(), 7), config).unwrap();
+        let mut blank = Ftl::new(FlashArray::new(FlashGeometry::small(), 7), config).unwrap();
+        let cap = data_ftl.capacity_pages();
+        let mut rng = Rng::new(42);
+        for stamp in 0..cap * 3 {
+            let lba = rng.below(cap);
+            if rng.below(8) == 0 {
+                data_ftl.trim(lba).unwrap();
+                let before = blank.physical_of(lba);
+                assert_eq!(blank.step_trim(lba).unwrap(), before);
+            } else {
+                let data = page(&data_ftl, stamp);
+                data_ftl.write(lba, &data).unwrap();
+                let data_rounds = data_ftl.last_gc_rounds().to_vec();
+                let out = blank.step_write(lba).unwrap();
+                assert_eq!(out.target, data_ftl.physical_of(lba).unwrap());
+                assert_eq!(out.gc, data_rounds, "GC rounds diverge at stamp {stamp}");
+            }
+        }
+        assert_eq!(data_ftl.stats(), blank.stats());
+        for lba in 0..cap {
+            assert_eq!(data_ftl.physical_of(lba), blank.physical_of(lba));
+        }
+        assert!(data_ftl.stats().gc_erases > 0, "GC must have run");
+        assert_eq!(data_ftl.array().max_wear(), blank.array().max_wear());
+        assert_eq!(data_ftl.array().min_wear(), blank.array().min_wear());
+    }
+
+    #[test]
+    fn step_trim_reports_the_old_mapping() {
+        let mut ftl = make(FlashGeometry::tiny());
+        assert_eq!(ftl.step_trim(3).unwrap(), None);
+        let out = ftl.step_write(3).unwrap();
+        assert!(out.gc.is_empty());
+        assert_eq!(ftl.step_trim(3).unwrap(), Some(out.target));
+        assert!(ftl.read(3).is_err());
     }
 
     #[test]

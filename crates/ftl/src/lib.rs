@@ -8,7 +8,16 @@
 //!   similar to Fusion IO's driver": page-level logical-to-physical
 //!   mapping, round-robin write allocation across buses for parallelism,
 //!   greedy garbage collection, threshold-based static wear leveling and
-//!   TRIM, with write-amplification accounting.
+//!   TRIM, with write-amplification accounting. Beyond the classic
+//!   read/write surface it exposes a **twin-replay API**
+//!   ([`ftl::Ftl::step_write`] / [`ftl::Ftl::step_trim`], returning
+//!   [`ftl::StepOutcome`] / [`ftl::GcRound`]): the event-driven
+//!   simulation keeps one `Ftl` per simulated card as its lifecycle
+//!   policy oracle, executes the rounds it reports as timed bus/chip
+//!   commands, and the conformance suite replays the same op log into a
+//!   fresh twin to pin mappings, victim order, erase counts and write
+//!   amplification bit-for-bit. See the [module docs](ftl) for the
+//!   contract.
 //! * [`blockdev::BlockDevice`] — the block view that lets "well-known
 //!   Linux file systems (e.g., ext2/3/4) as well as database systems" run
 //!   unmodified.
@@ -42,5 +51,5 @@ pub mod rfs;
 
 pub use blockdev::BlockDevice;
 pub use error::FtlError;
-pub use ftl::{Ftl, FtlConfig, FtlStats};
+pub use ftl::{Ftl, FtlConfig, FtlStats, GcRound, StepOutcome};
 pub use rfs::{Rfs, RfsConfig, RfsStats};

@@ -7,7 +7,7 @@
 //! | pid | process       | tid                | categories |
 //! |-----|---------------|--------------------|------------|
 //! | 1   | `engine`      | shard              | `dispatch`, `mailbox`, `spec` |
-//! | 2   | `nodes`       | node (`track`)     | `accel`, `bufpool` |
+//! | 2   | `nodes`       | node (`track`)     | `accel`, `bufpool`, `gc` |
 //! | 3   | `kv`          | tenant (`track`)   | `kvop` |
 //!
 //! Timestamps are microseconds (the `trace_event` unit) derived from
@@ -25,7 +25,7 @@ const PID_KV: u32 = 3;
 fn pid_of(cat: TraceCat) -> u32 {
     match cat {
         TraceCat::Dispatch | TraceCat::Mailbox | TraceCat::Spec => PID_ENGINE,
-        TraceCat::Accel | TraceCat::BufPool => PID_NODES,
+        TraceCat::Accel | TraceCat::BufPool | TraceCat::Gc => PID_NODES,
         TraceCat::KvOp => PID_KV,
     }
 }

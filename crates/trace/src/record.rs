@@ -24,18 +24,22 @@ pub enum TraceCat {
     BufPool = 4,
     /// KV op lifecycle: submit → gate → start → finish.
     KvOp = 5,
+    /// Flash garbage collection: victim selection, valid-page moves,
+    /// block erases.
+    Gc = 6,
 }
 
 /// Every category, in discriminant order.
 impl TraceCat {
     /// All categories, in discriminant order.
-    pub const ALL: [TraceCat; 6] = [
+    pub const ALL: [TraceCat; 7] = [
         TraceCat::Dispatch,
         TraceCat::Mailbox,
         TraceCat::Spec,
         TraceCat::Accel,
         TraceCat::BufPool,
         TraceCat::KvOp,
+        TraceCat::Gc,
     ];
 
     /// This category's bit in a [`crate::TraceConfig::categories`] mask.
@@ -53,6 +57,7 @@ impl TraceCat {
             TraceCat::Accel => "accel",
             TraceCat::BufPool => "bufpool",
             TraceCat::KvOp => "kvop",
+            TraceCat::Gc => "gc",
         }
     }
 
@@ -65,6 +70,7 @@ impl TraceCat {
             3 => Some(TraceCat::Accel),
             4 => Some(TraceCat::BufPool),
             5 => Some(TraceCat::KvOp),
+            6 => Some(TraceCat::Gc),
             _ => None,
         }
     }
@@ -79,8 +85,10 @@ pub const ALL_CATEGORIES: u32 = (1 << TraceCat::ALL.len() as u32) - 1;
 /// workload. `Dispatch` carries same-instant timing that contention
 /// redistributes; `Mailbox`/`Spec` describe engine-private structure;
 /// `Accel`/`BufPool` payloads include queue waits and park decisions,
-/// which the determinism contract explicitly leaves per-engine.
-pub const STABLE_CATEGORIES: u32 = TraceCat::KvOp.bit();
+/// which the determinism contract explicitly leaves per-engine. `Gc`
+/// qualifies because victim choice and migration order come from the
+/// mirror FTL's policy, a pure function of the logical op sequence.
+pub const STABLE_CATEGORIES: u32 = TraceCat::KvOp.bit() | TraceCat::Gc.bit();
 
 /// The shape of a record.
 #[repr(u8)]

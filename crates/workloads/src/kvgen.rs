@@ -160,6 +160,31 @@ impl KvWorkloadSpec {
         }
     }
 
+    /// The sustained-churn phase: `ops` overwriting puts, tenants
+    /// interleaved round-robin, each tenant sweeping its key space
+    /// cyclically so every pass rewrites every key. Unlike
+    /// [`KvWorkloadSpec::churn`] nothing is read or deleted — the
+    /// stream is pure write pressure. Sized past the device's logical
+    /// capacity (e.g. `2 * Cluster::node_capacity_pages` ops of
+    /// one-page values), it forces steady-state garbage collection:
+    /// every overwrite strands the key's previous extent, and the
+    /// lifecycle has to relocate and erase to keep making room.
+    pub fn overwrite_churn(&self, ops: u64) -> impl Iterator<Item = KvRequest> + '_ {
+        let mut rngs = self.tenant_rngs(0x5EED);
+        let tenants = u64::from(self.tenants);
+        (0..ops).map(move |i| {
+            let tenant = (i % tenants) as TenantId;
+            let k = (i / tenants) % self.keys_per_tenant;
+            let mut value = vec![0u8; self.value_bytes];
+            rngs[tenant as usize].fill_bytes(&mut value);
+            KvRequest::Put {
+                tenant,
+                key: Self::key(tenant, k),
+                value,
+            }
+        })
+    }
+
     /// Independent per-tenant generators derived from the master seed
     /// and a phase tag.
     fn tenant_rngs(&self, phase: u64) -> Vec<Rng> {
@@ -424,6 +449,29 @@ mod tests {
         assert_eq!(total as u64, s.churn_ops);
         assert!((gets as f64 / total - 0.6).abs() < 0.05, "gets {gets}");
         assert!((dels as f64 / total - 0.1).abs() < 0.03, "deletes {dels}");
+    }
+
+    #[test]
+    fn overwrite_churn_sweeps_the_keyspace_cyclically() {
+        let s = spec();
+        let ops = 2 * s.total_keys() + 3;
+        let mut per_key = bluedbm_sim::fxhash::FxHashMap::default();
+        for (i, req) in s.overwrite_churn(ops).enumerate() {
+            let KvRequest::Put { tenant, key, value } = req else {
+                panic!("overwrite churn emits puts only");
+            };
+            assert_eq!(tenant, (i as u64 % u64::from(s.tenants)) as TenantId);
+            assert_eq!(value.len(), s.value_bytes);
+            *per_key.entry(key).or_insert(0u64) += 1;
+        }
+        // Two full passes plus a ragged tail: every key overwritten at
+        // least twice, none more than three times.
+        assert_eq!(per_key.len() as u64, s.total_keys());
+        assert!(per_key.values().all(|&n| (2..=3).contains(&n)));
+        // Deterministic like the other phases.
+        let a: Vec<KvRequest> = s.overwrite_churn(100).collect();
+        let b: Vec<KvRequest> = s.overwrite_churn(100).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

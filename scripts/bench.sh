@@ -54,6 +54,9 @@ cargo bench -p bluedbm-bench --bench sim_throughput
 echo "== engines: ISP functional core throughput =="
 cargo bench -p bluedbm-bench --bench engines
 
+echo "== gc_cliff: flash-lifecycle tail latency and write amplification =="
+cargo run -p bluedbm-bench --release --quiet --bin gc_cliff
+
 echo "== trace: disabled-path overhead on the KV workload =="
 # shellcheck disable=SC2086
 cargo run -p bluedbm-bench --release --quiet --bin trace_overhead -- ${baseline:+"$baseline"}

@@ -1,0 +1,200 @@
+//! Shared HashMap-oracle harness for the schedule-driven suites.
+//!
+//! `tests/kv_engine.rs`, `tests/props.rs` and `tests/gc_conformance.rs`
+//! all replay randomly drawn schedules against a reference map model,
+//! relying on proptest's shrinker to minimize failures. The schedule
+//! encoding ([`Draw`]), the decoder ([`decode`]) and the drivers
+//! ([`check_schedule`] for the async KV engine, [`ftl_matches_model`]
+//! for the offline FTL) live here so all three suites draw from one
+//! generator and shrink through one decoder — a shrunk counterexample
+//! from any suite replays verbatim in the others.
+
+// Each test binary compiles this module independently and uses a
+// different subset of it.
+#![allow(dead_code)]
+
+// detlint::allow(no-std-hasher): oracle models independent of fxhash
+use std::collections::HashMap;
+
+use bluedbm::core::kvstore::KvOpKind;
+use bluedbm::core::{KvStore, NodeId};
+use bluedbm::flash::FlashArray;
+use bluedbm::ftl::ftl::Ftl;
+
+/// One undecoded schedule step: `(kind, key, len)` as drawn by
+/// proptest. Kept as a plain tuple so every suite shares the same
+/// strategy (`proptest::collection::vec(any::<Draw>(), ..)`) and the
+/// same shrinking behavior.
+pub type Draw = (u8, u8, u16);
+
+/// One schedule step, decoded from the proptest draw: which of a small
+/// hot key set, what op, how large a value.
+#[derive(Debug)]
+pub enum Step {
+    /// Store (or overwrite) `key` with a `len`-byte value.
+    Put { key: u8, len: usize },
+    /// Read `key` from node `reader`.
+    Get { key: u8, reader: usize },
+    /// Remove `key`.
+    Delete { key: u8 },
+}
+
+/// Decode a raw draw against a cluster of `nodes` nodes with
+/// `page_bytes`-page flash.
+pub fn decode(draw: Draw, nodes: usize, page_bytes: usize) -> Step {
+    let (kind, key, len) = draw;
+    let key = key % 12; // a small hot set maximizes same-key interleaving
+    match kind % 4 {
+        // Put twice as likely as delete: the store should mostly grow.
+        0 | 1 => Step::Put {
+            key,
+            // 0..~2.2 pages, hitting empty, partial and multi-page.
+            len: len as usize % (2 * page_bytes + page_bytes / 4),
+        },
+        2 => Step::Get {
+            key,
+            reader: len as usize % nodes,
+        },
+        _ => Step::Delete { key },
+    }
+}
+
+/// Drive `steps` through the engine (submitting everything before one
+/// drive per `chunk` ops) and through a `HashMap` oracle, then compare
+/// every per-op observable, the final directory state, and the leak
+/// audits. The store's own configuration decides what else the schedule
+/// exercises — a GC-enabled tiny-geometry cluster turns the same
+/// schedule into a lifecycle workout.
+pub fn check_schedule(s: &mut KvStore, nodes: usize, steps: Vec<Draw>, chunk: usize) {
+    let page_bytes = s.cluster().config().flash.geometry.page_bytes;
+
+    // detlint::allow(no-std-hasher): oracle model independent of fxhash
+    let mut oracle: HashMap<u8, Vec<u8>> = HashMap::new();
+    // op id -> expected (kind, found, value).
+    // detlint::allow(no-std-hasher): ditto
+    let mut expected: HashMap<u64, (KvOpKind, bool, Option<Vec<u8>>)> = HashMap::new();
+    let mut completions = Vec::new();
+    let mut pending = 0usize;
+
+    for (i, draw) in steps.into_iter().enumerate() {
+        let step = decode(draw, nodes, page_bytes);
+        match step {
+            Step::Put { key, len } => {
+                // Deterministic distinctive contents per (key, step).
+                let value: Vec<u8> = (0..len).map(|j| (j as u8) ^ key ^ (i as u8)).collect();
+                let tenant = u16::from(key) % 4;
+                let id = s.submit_put(tenant, &[key], &value);
+                oracle.insert(key, value);
+                expected.insert(id, (KvOpKind::Put, true, None));
+            }
+            Step::Get { key, reader } => {
+                let id = s.submit_get(u16::from(key) % 4, NodeId::from(reader), &[key]);
+                let value = oracle.get(&key).cloned();
+                expected.insert(id, (KvOpKind::Get, value.is_some(), value));
+            }
+            Step::Delete { key } => {
+                let id = s.submit_delete(u16::from(key) % 4, &[key]);
+                let found = oracle.remove(&key).is_some();
+                expected.insert(id, (KvOpKind::Delete, found, None));
+            }
+        }
+        pending += 1;
+        if pending >= chunk {
+            completions.extend(s.drive());
+            pending = 0;
+        }
+    }
+    completions.extend(s.drive());
+
+    assert_eq!(completions.len(), expected.len(), "every op completes");
+    for c in &completions {
+        let (kind, found, value) = expected.remove(&c.op).expect("unknown op id");
+        assert_eq!(c.kind, kind, "op {} kind", c.op);
+        assert!(c.error.is_none(), "op {} failed: {:?}", c.op, c.error);
+        assert_eq!(c.found, found, "op {} hit/miss (key {:?})", c.op, c.key);
+        if kind == KvOpKind::Get {
+            assert_eq!(
+                c.value, value,
+                "op {} read the wrong value for key {:?}",
+                c.op, c.key
+            );
+        }
+    }
+
+    // Final state agrees with the oracle.
+    assert_eq!(s.len(), oracle.len());
+    for (key, value) in &oracle {
+        let got = s.get(NodeId(0), &[*key]).expect("oracle key present");
+        assert_eq!(&got.value, value, "final state of key {key}");
+    }
+
+    // Nothing leaked: payload handles, pool slots, flash extents.
+    s.cluster().assert_quiescent();
+    s.assert_no_stranded_pages();
+}
+
+/// Drive `(op, lba, fill)` triples through an offline [`Ftl`] and a
+/// `HashMap` model: writes, trims and reads must agree op for op, and a
+/// final sweep of the whole logical space must match the model exactly.
+/// `lba` draws are reduced modulo `min(capacity, 64)` so schedules stay
+/// geometry-independent.
+pub fn ftl_matches_model(mut ftl: Ftl, ops: Vec<(u8, u64, u8)>) {
+    let cap = ftl.capacity_pages().min(64);
+    let page_bytes = ftl.page_bytes();
+    // detlint::allow(no-std-hasher): oracle model independent of fxhash
+    let mut model: HashMap<u64, u8> = HashMap::new();
+    for (op, lba, fill) in ops {
+        let lba = lba % cap;
+        match op {
+            0 => {
+                ftl.write(lba, &vec![fill; page_bytes]).expect("write");
+                model.insert(lba, fill);
+            }
+            1 => {
+                ftl.trim(lba).expect("trim");
+                model.remove(&lba);
+            }
+            _ => match model.get(&lba) {
+                Some(&fill) => {
+                    assert_eq!(ftl.read(lba).expect("read"), vec![fill; page_bytes]);
+                }
+                None => assert!(ftl.read(lba).is_err()),
+            },
+        }
+    }
+    // Final sweep: every mapping agrees.
+    for lba in 0..cap {
+        match model.get(&lba) {
+            Some(&fill) => {
+                assert_eq!(ftl.read(lba).expect("read"), vec![fill; page_bytes]);
+            }
+            None => assert!(ftl.read(lba).is_err()),
+        }
+    }
+}
+
+/// Replay a cluster card's recorded logical lifecycle ops against a
+/// fresh offline twin built over `shadow` — the GC conformance oracle.
+/// Returns the twin and the GC rounds it decided, in op order, for
+/// comparison against the cluster mirror's state and recorded rounds.
+pub fn replay_lifecycle(
+    shadow: FlashArray,
+    config: bluedbm::ftl::ftl::FtlConfig,
+    ops: &[bluedbm::core::LifecycleOp],
+) -> (Ftl, Vec<bluedbm::ftl::GcRound>) {
+    use bluedbm::core::LifecycleOp;
+    let mut twin = Ftl::new(shadow, config).expect("twin FTL");
+    let mut rounds = Vec::new();
+    for op in ops {
+        match *op {
+            LifecycleOp::Write(lba) => {
+                let outcome = twin.step_write(lba).expect("twin out of space");
+                rounds.extend(outcome.gc);
+            }
+            LifecycleOp::Trim(lba) => {
+                twin.step_trim(lba).expect("twin trim");
+            }
+        }
+    }
+    (twin, rounds)
+}

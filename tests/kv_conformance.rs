@@ -21,7 +21,8 @@
 
 use proptest::prelude::*;
 
-use bluedbm::core::{Cluster, ExecMode, KvStore, NodeId, SystemConfig};
+use bluedbm::core::{Cluster, ExecMode, GcStats, KvStore, NodeId, SystemConfig};
+use bluedbm::flash::FlashGeometry;
 use bluedbm::net::Topology;
 use bluedbm::trace::{TraceCat, TraceConfig, TraceDoc, ALL_CATEGORIES, STABLE_CATEGORIES};
 use bluedbm::workloads::kvgen::{run_requests, KvRunSummary, KvWorkloadSpec};
@@ -33,6 +34,9 @@ struct KvObservation {
     events: u64,
     keys: usize,
     flash_pages_in_use: u64,
+    /// Cumulative flash-lifecycle counters (all-zero when the workload
+    /// never reaches the GC watermark).
+    gc: GcStats,
     /// Per node: (sched submitted, sched completed, agent accel jobs,
     /// agent ops, agent completions).
     nodes: Vec<(u64, u64, u64, u64, u64)>,
@@ -50,6 +54,7 @@ fn observe(store: &KvStore, mut summary: KvRunSummary) -> KvObservation {
         events: cluster.events_delivered(),
         keys: store.len(),
         flash_pages_in_use: cluster.flash_pages_in_use(),
+        gc: cluster.gc_stats(),
         nodes: (0..cluster.node_count())
             .map(|n| {
                 let node = NodeId::from(n);
@@ -228,6 +233,63 @@ fn trace_digest_identical_across_all_engines() {
     }
 }
 
+/// Tiny-geometry system whose churn phase runs past the GC watermark,
+/// so collection traffic (victim / move / erase instants in the `Gc`
+/// trace category) interleaves with foreground KV ops.
+fn gc_traced_config(shards: usize, exec: ExecMode) -> SystemConfig {
+    let mut config = traced_config(shards, exec);
+    config.flash.geometry = FlashGeometry::tiny();
+    config
+}
+
+/// Overwrite-heavy spec sized to collect on tiny geometry: the live
+/// set fills ~65% of logical capacity and the churn rewrites ~1.3x
+/// capacity, so victims carry valid pages and GC both erases and
+/// relocates.
+fn gc_spec(nodes: usize) -> KvWorkloadSpec {
+    KvWorkloadSpec {
+        tenants: 4,
+        keys_per_tenant: 125 * nodes as u64,
+        churn_ops: 1000 * nodes as u64,
+        read_fraction: 0.0,
+        delete_fraction: 0.0,
+        zipf_exponent: 0.99,
+        value_bytes: 400, // one tiny-geometry page
+        nodes,
+        seed: 0x5EED,
+    }
+}
+
+#[test]
+fn gc_active_trace_digest_identical_across_all_engines() {
+    // With collection live, the stable digest covers the Gc category
+    // too: every engine must report the identical victim / relocation /
+    // erase sequence, not just the same KV results.
+    let spec = gc_spec(4);
+    let (seq_obs, seq_doc) =
+        run_traced(&spec, Cluster::ring(4, &gc_traced_config(1, ExecMode::Auto)).unwrap(), 64);
+    assert_eq!(seq_obs.summary.errors, 0);
+    assert!(seq_obs.gc.erases > 0, "churn must collect: {:?}", seq_obs.gc);
+    assert!(seq_obs.gc.relocated > 0, "victims must carry live pages: {:?}", seq_obs.gc);
+    assert!(seq_doc.count(TraceCat::Gc) > 0, "GC lifecycle must be traced");
+    let stable = seq_doc.digest_stable(STABLE_CATEGORIES);
+    for shards in [2, 4] {
+        for exec in [ExecMode::Threads, ExecMode::Cooperative, ExecMode::Optimistic] {
+            let (obs, doc) = run_traced(
+                &spec,
+                Cluster::ring(4, &gc_traced_config(shards, exec)).unwrap(),
+                64,
+            );
+            assert_eq!(seq_obs, obs, "{exec:?}@{shards} GC-active observation diverged");
+            assert_eq!(
+                doc.digest_stable(STABLE_CATEGORIES),
+                stable,
+                "{exec:?}@{shards} GC-active stable digest diverged"
+            );
+        }
+    }
+}
+
 #[test]
 fn trace_reruns_are_bit_identical_per_engine() {
     // Within one engine, the *full* digest — every field, including
@@ -353,5 +415,31 @@ proptest! {
             "tracing perturbed the run (shards={shards} exec={exec:?}): off={off:?} on={on:?}"
         );
         prop_assert!(!doc.is_empty(), "enabled sinks must capture records");
+    }
+
+    /// Capture must never perturb *collection* either: with churn past
+    /// the GC watermark, the traced and untraced runs must agree on
+    /// every lifecycle counter (erases, relocations, WA) and every KV
+    /// observable, for any seed on either engine family.
+    #[test]
+    fn trace_capture_never_perturbs_gc(
+        seed: u64,
+        shards in 1usize..5,
+        optimistic: bool,
+    ) {
+        let exec = if optimistic { ExecMode::Optimistic } else { ExecMode::Threads };
+        let mut spec = gc_spec(4);
+        spec.seed = seed;
+        let mut off_config = gc_traced_config(shards, exec);
+        off_config.sim.trace = TraceConfig::default();
+        let off = run(&spec, Cluster::ring(4, &off_config).unwrap(), 64);
+        prop_assert!(off.gc.erases > 0, "churn must collect: {:?}", off.gc);
+        let (on, doc) =
+            run_traced(&spec, Cluster::ring(4, &gc_traced_config(shards, exec)).unwrap(), 64);
+        prop_assert!(
+            off == on,
+            "tracing perturbed GC (shards={shards} exec={exec:?}): off={off:?} on={on:?}"
+        );
+        prop_assert!(doc.count(TraceCat::Gc) > 0, "GC activity must be captured");
     }
 }

@@ -1,7 +1,8 @@
 //! Model-based and stress coverage for the async KV engine.
 //!
-//! * A `HashMap` oracle replays every random put/get/delete/overwrite
-//!   schedule in submission order per key — the engine's per-key FIFO
+//! * A `HashMap` oracle (the shared `tests/common` harness) replays
+//!   every random put/get/delete/overwrite schedule in submission order
+//!   per key — the engine's per-key FIFO
 //!   gates must make the simulated store agree on every read and every
 //!   hit/miss outcome, however the underlying events interleave.
 //! * Every schedule must end quiescent: no payload handles, pooled
@@ -12,116 +13,24 @@
 //!   progress (FIFO starvation-freedom at cluster level), with the
 //!   queue visible in the scheduler stats.
 
-// detlint::allow(no-std-hasher): oracle model independent of fxhash
-use std::collections::HashMap;
+mod common;
 
 use proptest::prelude::*;
 
-use bluedbm::core::kvstore::KvOpKind;
 use bluedbm::core::{Cluster, KvStore, NodeId, SystemConfig};
+use common::Draw;
 
 fn store(nodes: usize) -> KvStore {
     let config = SystemConfig::scaled_down();
     KvStore::new(Cluster::ring(nodes, &config).expect("cluster"))
 }
 
-/// One schedule step, decoded from the proptest draw: which tenant,
-/// which of a small hot key set, what op, how large a value.
-#[derive(Debug)]
-enum Step {
-    Put { key: u8, len: usize },
-    Get { key: u8, reader: usize },
-    Delete { key: u8 },
-}
-
-fn decode(draw: (u8, u8, u16), nodes: usize, page_bytes: usize) -> Step {
-    let (kind, key, len) = draw;
-    let key = key % 12; // a small hot set maximizes same-key interleaving
-    match kind % 4 {
-        // Put twice as likely as delete: the store should mostly grow.
-        0 | 1 => Step::Put {
-            key,
-            // 0..~2.2 pages, hitting empty, partial and multi-page.
-            len: len as usize % (2 * page_bytes + page_bytes / 4),
-        },
-        2 => Step::Get {
-            key,
-            reader: len as usize % nodes,
-        },
-        _ => Step::Delete { key },
-    }
-}
-
-/// Drive `steps` through the engine (submitting everything before one
-/// drive per `chunk` ops) and through the oracle, then compare.
-fn check_schedule(steps: Vec<(u8, u8, u16)>, chunk: usize) {
+/// Drive `steps` through the shared oracle harness on a 3-node ring
+/// (see `tests/common`).
+fn check_schedule(steps: Vec<Draw>, chunk: usize) {
     const NODES: usize = 3;
     let mut s = store(NODES);
-    let page_bytes = s.cluster().config().flash.geometry.page_bytes;
-
-    // detlint::allow(no-std-hasher): oracle model independent of fxhash
-    let mut oracle: HashMap<u8, Vec<u8>> = HashMap::new();
-    // op id -> expected (kind, found, value).
-    // detlint::allow(no-std-hasher): ditto
-    let mut expected: HashMap<u64, (KvOpKind, bool, Option<Vec<u8>>)> = HashMap::new();
-    let mut completions = Vec::new();
-    let mut pending = 0usize;
-
-    for (i, draw) in steps.into_iter().enumerate() {
-        let step = decode(draw, NODES, page_bytes);
-        match step {
-            Step::Put { key, len } => {
-                // Deterministic distinctive contents per (key, step).
-                let value: Vec<u8> = (0..len).map(|j| (j as u8) ^ key ^ (i as u8)).collect();
-                let tenant = u16::from(key) % 4;
-                let id = s.submit_put(tenant, &[key], &value);
-                oracle.insert(key, value);
-                expected.insert(id, (KvOpKind::Put, true, None));
-            }
-            Step::Get { key, reader } => {
-                let id = s.submit_get(u16::from(key) % 4, NodeId::from(reader), &[key]);
-                let value = oracle.get(&key).cloned();
-                expected.insert(id, (KvOpKind::Get, value.is_some(), value));
-            }
-            Step::Delete { key } => {
-                let id = s.submit_delete(u16::from(key) % 4, &[key]);
-                let found = oracle.remove(&key).is_some();
-                expected.insert(id, (KvOpKind::Delete, found, None));
-            }
-        }
-        pending += 1;
-        if pending >= chunk {
-            completions.extend(s.drive());
-            pending = 0;
-        }
-    }
-    completions.extend(s.drive());
-
-    assert_eq!(completions.len(), expected.len(), "every op completes");
-    for c in &completions {
-        let (kind, found, value) = expected.remove(&c.op).expect("unknown op id");
-        assert_eq!(c.kind, kind, "op {} kind", c.op);
-        assert!(c.error.is_none(), "op {} failed: {:?}", c.op, c.error);
-        assert_eq!(c.found, found, "op {} hit/miss (key {:?})", c.op, c.key);
-        if kind == KvOpKind::Get {
-            assert_eq!(
-                c.value, value,
-                "op {} read the wrong value for key {:?}",
-                c.op, c.key
-            );
-        }
-    }
-
-    // Final state agrees with the oracle.
-    assert_eq!(s.len(), oracle.len());
-    for (key, value) in &oracle {
-        let got = s.get(NodeId(0), &[*key]).expect("oracle key present");
-        assert_eq!(&got.value, value, "final state of key {key}");
-    }
-
-    // Nothing leaked: payload handles, pool slots, flash extents.
-    s.cluster().assert_quiescent();
-    s.assert_no_stranded_pages();
+    common::check_schedule(&mut s, NODES, steps, chunk);
 }
 
 proptest! {

@@ -1,5 +1,7 @@
 //! Property-based tests of the core invariants, across crates.
 
+mod common;
+
 use proptest::prelude::*;
 
 use bluedbm::flash::ecc::{self, Decoded};
@@ -303,46 +305,16 @@ proptest! {
     }
 
     /// The FTL behaves exactly like a hash map under any sequence of
-    /// writes, overwrites, trims and reads.
+    /// writes, overwrites, trims and reads (driver shared with the
+    /// other oracle suites via `tests/common`).
     #[test]
     fn ftl_matches_hashmap_model(
         ops in proptest::collection::vec((0u8..3, 0u64..64, 0u8..255), 1..300),
     ) {
-        let mut ftl = Ftl::new(
+        let ftl = Ftl::new(
             FlashArray::new(FlashGeometry::tiny(), 3),
             FtlConfig::default(),
         ).expect("ftl");
-        let cap = ftl.capacity_pages().min(64);
-        let page_bytes = ftl.page_bytes();
-        // detlint::allow(no-std-hasher): oracle model independent of fxhash
-        let mut model: std::collections::HashMap<u64, u8> = Default::default();
-        for (op, lba, fill) in ops {
-            let lba = lba % cap;
-            match op {
-                0 => {
-                    ftl.write(lba, &vec![fill; page_bytes]).expect("write");
-                    model.insert(lba, fill);
-                }
-                1 => {
-                    ftl.trim(lba).expect("trim");
-                    model.remove(&lba);
-                }
-                _ => match model.get(&lba) {
-                    Some(&fill) => {
-                        prop_assert_eq!(ftl.read(lba).expect("read"), vec![fill; page_bytes]);
-                    }
-                    None => prop_assert!(ftl.read(lba).is_err()),
-                },
-            }
-        }
-        // Final sweep: every mapping agrees.
-        for lba in 0..cap {
-            match model.get(&lba) {
-                Some(&fill) => {
-                    prop_assert_eq!(ftl.read(lba).expect("read"), vec![fill; page_bytes]);
-                }
-                None => prop_assert!(ftl.read(lba).is_err()),
-            }
-        }
+        common::ftl_matches_model(ftl, ops);
     }
 }
